@@ -1,0 +1,86 @@
+//! Microbenchmarks of the delivery engines: explicit graph vs vector
+//! clock, in-order vs adversarially reordered arrival.
+
+use causal_clocks::ProcessId;
+use causal_core::delivery::{CbcastEngine, GraphDelivery};
+use causal_core::osend::{GraphEnvelope, OSender, OccursAfter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const MSGS: usize = 500;
+
+/// A chained stream (each message depends on the previous).
+fn chained_stream() -> Vec<GraphEnvelope<u64>> {
+    let mut tx = OSender::new(ProcessId::new(0));
+    let mut out = Vec::with_capacity(MSGS);
+    let mut prev = None;
+    for k in 0..MSGS as u64 {
+        let after = prev.map_or(OccursAfter::none(), OccursAfter::message);
+        let env = tx.osend(k, after);
+        prev = Some(env.id);
+        out.push(env);
+    }
+    out
+}
+
+fn bench_graph_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_delivery");
+    group.throughput(criterion::Throughput::Elements(MSGS as u64));
+
+    let stream = chained_stream();
+    group.bench_function("chain_in_order", |b| {
+        b.iter(|| {
+            let mut rx = GraphDelivery::new();
+            let mut delivered = 0;
+            for env in &stream {
+                delivered += rx.on_receive(env.clone()).len();
+            }
+            black_box(delivered)
+        });
+    });
+    group.bench_function("chain_reversed", |b| {
+        b.iter(|| {
+            let mut rx = GraphDelivery::new();
+            let mut delivered = 0;
+            for env in stream.iter().rev() {
+                delivered += rx.on_receive(env.clone()).len();
+            }
+            black_box(delivered)
+        });
+    });
+    group.finish();
+}
+
+fn bench_cbcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cbcast");
+    group.throughput(criterion::Throughput::Elements(MSGS as u64));
+
+    for width in [4usize, 16] {
+        let mut tx = CbcastEngine::new(ProcessId::new(0), width);
+        let stream: Vec<_> = (0..MSGS as u64).map(|k| tx.broadcast(k)).collect();
+        group.bench_with_input(BenchmarkId::new("in_order", width), &width, |b, &width| {
+            b.iter(|| {
+                let mut rx = CbcastEngine::new(ProcessId::new(1), width);
+                let mut delivered = 0;
+                for env in &stream {
+                    delivered += rx.on_receive(env.clone()).len();
+                }
+                black_box(delivered)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reversed", width), &width, |b, &width| {
+            b.iter(|| {
+                let mut rx = CbcastEngine::new(ProcessId::new(1), width);
+                let mut delivered = 0;
+                for env in stream.iter().rev() {
+                    delivered += rx.on_receive(env.clone()).len();
+                }
+                black_box(delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_delivery, bench_cbcast);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the `R(M)` dependency-graph operations (Figure 3).
+
+use causal_clocks::{MsgId, ProcessId};
+use causal_core::graph::MsgGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn mid(p: u32, s: u64) -> MsgId {
+    MsgId::new(ProcessId::new(p), s)
+}
+
+/// A chain of `len` messages: worst case for reachability depth.
+fn chain(len: usize) -> MsgGraph {
+    let mut g = MsgGraph::new();
+    let mut prev: Option<MsgId> = None;
+    for s in 1..=len as u64 {
+        let id = mid(0, s);
+        match prev {
+            Some(p) => g.add(id, &[p]).unwrap(),
+            None => g.add(id, &[]).unwrap(),
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// §6.1-shaped cycles: nc -> ||{width} -> nc -> ...
+fn cycles(n_cycles: usize, width: usize) -> MsgGraph {
+    let mut g = MsgGraph::new();
+    let mut last = mid(0, 1);
+    g.add(last, &[]).unwrap();
+    for r in 0..n_cycles as u64 {
+        let interior: Vec<MsgId> = (0..width)
+            .map(|k| {
+                let id = MsgId::new(ProcessId::new(1 + k as u32), r + 1);
+                g.add(id, &[last]).unwrap();
+                id
+            })
+            .collect();
+        last = mid(0, r + 2);
+        g.add(last, &interior).unwrap();
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msg_graph");
+
+    for len in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("build_chain", len), &len, |b, &len| {
+            b.iter(|| black_box(chain(len)));
+        });
+        let g = chain(len);
+        let head = mid(0, 1);
+        let tail = mid(0, len as u64);
+        group.bench_with_input(
+            BenchmarkId::new("causally_precedes_chain", len),
+            &len,
+            |b, _| {
+                b.iter(|| black_box(g.causally_precedes(head, tail)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ancestors_chain", len), &len, |b, _| {
+            b.iter(|| black_box(g.ancestors(tail).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("topo_order_chain", len), &len, |b, _| {
+            b.iter(|| black_box(g.topo_order().len()));
+        });
+    }
+
+    let g = cycles(20, 20);
+    group.bench_function("sync_points_cycles_20x20", |b| {
+        b.iter(|| black_box(g.sync_points().len()));
+    });
+    group.bench_function("frontier_cycles_20x20", |b| {
+        b.iter(|| black_box(g.frontier().len()));
+    });
+
+    let small = cycles(2, 5);
+    group.bench_function("linearizations_2x5_cap1000", |b| {
+        b.iter(|| black_box(small.linearizations(1000).len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end protocol benchmarks: full simulated runs of the §6.1 mix
+//! protocol, the total-order baseline, and a LOCK/TFR arbitration cycle.
+
+use causal_bench::{run_causal_mix, run_sequenced_mix, MixConfig};
+use causal_clocks::ProcessId;
+use causal_core::node::CausalNode;
+use causal_replica::lock::LockMember;
+use causal_simnet::{LatencyModel, NetConfig, SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn mix_config(f_bar: usize) -> MixConfig {
+    MixConfig {
+        n_replicas: 3,
+        cycles: 5,
+        f_bar,
+        interval: SimDuration::from_micros(100),
+        latency: LatencyModel::uniform_micros(200, 800),
+        drop_prob: 0.0,
+        seed: 1,
+    }
+}
+
+fn bench_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec61_mix");
+    group.sample_size(20);
+    for f_bar in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("causal", f_bar), &f_bar, |b, &f_bar| {
+            let config = mix_config(f_bar);
+            b.iter(|| black_box(run_causal_mix(&config)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("total_order", f_bar),
+            &f_bar,
+            |b, &f_bar| {
+                let config = mix_config(f_bar);
+                b.iter(|| black_box(run_sequenced_mix(&config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_lock");
+    group.sample_size(20);
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("cycles3", n), &n, |b, &n| {
+            b.iter(|| {
+                let nodes: Vec<CausalNode<LockMember>> = (0..n)
+                    .map(|i| {
+                        let id = ProcessId::new(i as u32);
+                        CausalNode::new(id, n, LockMember::new(id, n, 3))
+                    })
+                    .collect();
+                let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(200, 800));
+                let mut sim = Simulation::new(nodes, cfg, 1);
+                black_box(sim.run_to_quiescence())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mix, bench_lock);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `causal_sim` — a configurable scenario driver for the library.
+//!
+//! Runs the §6.1 commutative-mix workload through a chosen replication
+//! protocol on the deterministic simulator and prints the measurements.
+//!
+//! ```sh
+//! cargo run -p causal-bench --bin causal_sim -- \
+//!     --protocol causal --n 5 --f-bar 20 --cycles 30 --seed 7 --drop 0.05
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! | flag | meaning | default |
+//! |---|---|---|
+//! | `--protocol` | `causal`, `total`, or `unordered` | `causal` |
+//! | `--n` | replicas | 3 |
+//! | `--cycles` | processing cycles | 20 |
+//! | `--f-bar` | commutative ops per cycle | 20 |
+//! | `--interval-us` | submission gap (µs) | 200 |
+//! | `--seed` | RNG seed | 42 |
+//! | `--drop` | transmission loss probability (causal only) | 0.0 |
+
+use causal_bench::{run_causal_mix, run_sequenced_mix, run_unordered_mix, MixConfig, MixStats};
+use causal_simnet::{LatencyModel, SimDuration};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    protocol: String,
+    config: MixConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut protocol = "causal".to_string();
+    let mut config = MixConfig {
+        latency: LatencyModel::exponential_micros(200, 800),
+        ..MixConfig::default()
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--protocol" => protocol = value,
+            "--n" => config.n_replicas = value.parse().map_err(|e| format!("--n: {e}"))?,
+            "--cycles" => config.cycles = value.parse().map_err(|e| format!("--cycles: {e}"))?,
+            "--f-bar" => config.f_bar = value.parse().map_err(|e| format!("--f-bar: {e}"))?,
+            "--interval-us" => {
+                let us: u64 = value.parse().map_err(|e| format!("--interval-us: {e}"))?;
+                config.interval = SimDuration::from_micros(us);
+            }
+            "--seed" => config.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--drop" => {
+                config.drop_prob = value.parse().map_err(|e| format!("--drop: {e}"))?;
+                if !(0.0..=1.0).contains(&config.drop_prob) {
+                    return Err("--drop must be in [0, 1]".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if config.n_replicas == 0 || config.cycles == 0 {
+        return Err("--n and --cycles must be positive".into());
+    }
+    match protocol.as_str() {
+        "causal" | "total" | "unordered" => {}
+        other => return Err(format!("unknown protocol {other} (causal|total|unordered)")),
+    }
+    Ok(Args { protocol, config })
+}
+
+fn print_stats(protocol: &str, config: &MixConfig, stats: &MixStats) {
+    println!("protocol:          {protocol}");
+    println!("replicas:          {}", config.n_replicas);
+    println!(
+        "workload:          {} cycles x (1 nc + {} commutative), {} ops",
+        config.cycles, config.f_bar, stats.ops
+    );
+    println!("seed:              {}", config.seed);
+    println!("drop probability:  {}", config.drop_prob);
+    println!();
+    println!(
+        "mean latency:      {:.3} ms",
+        stats.mean_latency_us / 1000.0
+    );
+    println!("p50 latency:       {:.3} ms", stats.p50_us as f64 / 1000.0);
+    println!("p99 latency:       {:.3} ms", stats.p99_us as f64 / 1000.0);
+    println!(
+        "run duration:      {:.3} ms",
+        stats.duration_us as f64 / 1000.0
+    );
+    println!("throughput:        {:.0} ops/s", stats.throughput_ops_per_s);
+    println!("messages sent:     {}", stats.msgs_sent);
+    println!("stable points:     {}", stats.stable_points);
+    println!("concurrent pairs:  {}", stats.concurrent_pairs);
+    println!("consistent:        {}", stats.consistent);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: causal_sim [--protocol causal|total|unordered] [--n N] \
+                 [--cycles C] [--f-bar F] [--interval-us U] [--seed S] [--drop P]"
+            );
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let stats = match args.protocol.as_str() {
+        "causal" => run_causal_mix(&args.config),
+        "total" => run_sequenced_mix(&args.config),
+        _ => run_unordered_mix(&args.config),
+    };
+    print_stats(&args.protocol, &args.config, &stats);
+    if stats.consistent {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nwarning: replicas did NOT agree (expected for `unordered` with non-commutative ops)"
+        );
+        ExitCode::FAILURE
+    }
+}

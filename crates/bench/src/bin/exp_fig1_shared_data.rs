@@ -1,0 +1,112 @@
+//! **E10 — Figure 1 / §1**: shared data realized by a message-broadcast
+//! facility — the conferencing document service.
+//!
+//! A group of workstation agents shares a design document: edits are
+//! ordered, annotations flow concurrently, commits close revisions. The
+//! experiment drives a multi-revision editing session under message loss
+//! and verifies the paper's premise: every data-access message is seen by
+//! all entities and the replicas agree at every revision.
+
+use causal_bench::table::fmt_ms;
+use causal_bench::Table;
+use causal_clocks::{MsgId, ProcessId};
+use causal_core::node::CausalNode;
+use causal_core::osend::OccursAfter;
+use causal_replica::document::{DocOp, DocumentReplica};
+use causal_simnet::{FaultPlan, LatencyModel, NetConfig, Simulation};
+
+const REVISIONS: usize = 6;
+const ANNOTATORS: usize = 4;
+const SEED: u64 = 23;
+
+fn run(n: usize, drop: f64) -> (bool, usize, f64, u64) {
+    let nodes: Vec<CausalNode<DocumentReplica>> = (0..n)
+        .map(|i| CausalNode::new(ProcessId::new(i as u32), n, DocumentReplica::new()))
+        .collect();
+    let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(200, 2000))
+        .faults(FaultPlan::new().with_drop_prob(drop));
+    let mut sim = Simulation::new(nodes, cfg, SEED + n as u64);
+
+    let mut prev_commit: Option<MsgId> = None;
+    for rev in 0..REVISIONS {
+        // The editor of this revision rewrites a line.
+        let editor = ProcessId::new((rev % n) as u32);
+        let after = prev_commit.map_or(OccursAfter::none(), OccursAfter::message);
+        let edit_op = DocOp::EditLine {
+            line: (rev % 3) as u64,
+            text: format!("rev {rev} content"),
+        };
+        let edit = sim.poke(editor, move |node, ctx| node.osend(ctx, edit_op, after));
+        sim.run_to_quiescence();
+
+        // Concurrent annotations from several participants.
+        let mut notes = Vec::new();
+        for a in 0..ANNOTATORS.min(n) {
+            let annotator = ProcessId::new(a as u32);
+            let op = DocOp::Annotate {
+                line: (rev % 3) as u64,
+                note: format!("note {a} on rev {rev}"),
+            };
+            notes.push(sim.poke(annotator, move |node, ctx| {
+                node.osend(ctx, op, OccursAfter::message(edit))
+            }));
+        }
+        sim.run_to_quiescence();
+
+        // Commit closes the revision.
+        let commit = sim.poke(editor, move |node, ctx| {
+            node.osend(ctx, DocOp::Commit, OccursAfter::all(notes.clone()))
+        });
+        sim.run_to_quiescence();
+        prev_commit = Some(commit);
+    }
+
+    let reference = sim.node(ProcessId::new(0)).app().revisions().to_vec();
+    let agree =
+        (1..n).all(|i| sim.node(ProcessId::new(i as u32)).app().revisions() == &reference[..]);
+    let mut lat = causal_simnet::Histogram::new();
+    for i in 0..n {
+        lat.merge(&sim.node(ProcessId::new(i as u32)).stats().delivery_latency);
+    }
+    (
+        agree,
+        reference.len(),
+        lat.mean_micros(),
+        sim.metrics().dropped,
+    )
+}
+
+fn main() {
+    println!("E10 / Figure 1, §1 — conferencing document over causal broadcast\n");
+    println!("{REVISIONS} revisions: edit -> ||{{{ANNOTATORS} annotations}} -> commit\n");
+
+    let mut table = Table::new([
+        "agents",
+        "drop",
+        "revisions agreed",
+        "mean delivery",
+        "msgs lost (recovered)",
+    ]);
+    for n in [3usize, 5, 8] {
+        for drop in [0.0, 0.25] {
+            let (agree, revisions, mean_us, dropped) = run(n, drop);
+            assert!(
+                agree,
+                "replicas disagreed on a revision (n={n}, drop={drop})"
+            );
+            table.row([
+                n.to_string(),
+                format!("{:.0}%", drop * 100.0),
+                revisions.to_string(),
+                fmt_ms(mean_us),
+                dropped.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\npaper shape reproduced: broadcast data access keeps every agent's \
+         local copy in agreement at every commit, even with a quarter of \
+         transmissions lost (recovered by the reliability layer)."
+    );
+}

@@ -1,0 +1,124 @@
+//! **E1 — Figure 2**: the paper's causal-broadcast scenario
+//! `R(M) ≡ m_k → ‖{m'_i, m'_j}`.
+//!
+//! Reproduces the figure's message pattern over the simulator, shows that
+//! the two concurrent messages are delivered in *different orders at
+//! different members* while every member sees the *same dependency graph*,
+//! and that a closing synchronization message restores an agreed view.
+
+use causal_bench::Table;
+use causal_clocks::{MsgId, ProcessId};
+use causal_core::check;
+use causal_core::node::CausalNode;
+use causal_core::osend::OccursAfter;
+use causal_replica::counter::{CounterOp, CounterReplica};
+use causal_simnet::{LatencyModel, NetConfig, Simulation};
+
+fn main() {
+    println!("E1 / Figure 2 — causal broadcast scenario: mk -> ||{{m'i, m'j}}\n");
+
+    let p = ProcessId::new;
+    let mut orders_seen = std::collections::BTreeSet::new();
+    let mut table = Table::new(["seed", "member", "delivery order", "agreed value"]);
+
+    for seed in 0..6u64 {
+        let nodes: Vec<CausalNode<CounterReplica>> = (0..3)
+            .map(|i| CausalNode::new(p(i), 3, CounterReplica::new()))
+            .collect();
+        let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 8000));
+        let mut sim = Simulation::new(nodes, cfg, seed);
+
+        // ak generates mk; ai and aj react concurrently; a closing read
+        // (the paper's synchronization point) restores agreement.
+        let mk = sim.poke(p(2), |n, ctx| {
+            n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
+        });
+        sim.run_to_quiescence();
+        let mi = sim.poke(p(0), |n, ctx| {
+            n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
+        });
+        let mj = sim.poke(p(1), |n, ctx| {
+            n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
+        });
+        sim.run_to_quiescence();
+        sim.poke(p(2), |n, ctx| {
+            n.osend(ctx, CounterOp::Read, OccursAfter::all([mi, mj]))
+        });
+        sim.run_to_quiescence();
+
+        let name = |m: MsgId| {
+            if m == mk {
+                "mk"
+            } else if m == mi {
+                "m'i"
+            } else if m == mj {
+                "m'j"
+            } else {
+                "ms"
+            }
+        };
+        for i in 0..3 {
+            let node = sim.node(p(i));
+            let order: Vec<&str> = node.log().iter().map(|&m| name(m)).collect();
+            orders_seen.insert(order.join(" -> "));
+            let agreed = node.app().read_answers()[0].1;
+            table.row([
+                seed.to_string(),
+                format!("a{i}"),
+                order.join(" -> "),
+                agreed.to_string(),
+            ]);
+            // The graph is identical at every member and flags mi || mj.
+            assert!(node.graph().is_concurrent(mi, mj));
+            assert_eq!(agreed, 13);
+        }
+
+        let logs: Vec<Vec<MsgId>> = (0..3).map(|i| sim.node(p(i)).log().to_vec()).collect();
+        let graph = sim.node(p(0)).graph().clone();
+        check::logs_linearize_graph(&graph, &logs).expect("all logs linearize R(M)");
+    }
+
+    table.print();
+
+    // Space-time diagram of the last seed's run, Figure-2 style.
+    {
+        let p = ProcessId::new;
+        let nodes: Vec<CausalNode<CounterReplica>> = (0..3)
+            .map(|i| CausalNode::new(p(i), 3, CounterReplica::new()))
+            .collect();
+        let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 8000));
+        let mut sim = Simulation::new(nodes, cfg, 1);
+        sim.enable_trace();
+        let mk = sim.poke(p(2), |n, ctx| {
+            n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
+        });
+        sim.run_to_quiescence();
+        let mi = sim.poke(p(0), |n, ctx| {
+            n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
+        });
+        let mj = sim.poke(p(1), |n, ctx| {
+            n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
+        });
+        sim.run_to_quiescence();
+        sim.poke(p(2), |n, ctx| {
+            n.osend(ctx, CounterOp::Read, OccursAfter::all([mi, mj]))
+        });
+        sim.run_to_quiescence();
+        println!("\nspace-time diagram (seed 1, network-level deliveries):");
+        print!("{}", sim.trace().unwrap().render_ascii(3));
+    }
+
+    println!(
+        "\ndistinct delivery orders observed across members/seeds: {}",
+        orders_seen.len()
+    );
+    assert!(
+        orders_seen.len() >= 2,
+        "expected both interleavings of the concurrent pair to occur"
+    );
+    println!(
+        "paper shape reproduced: concurrent messages interleave freely, \
+         every member sees the same R(M), and the closing sync message \
+         yields the same agreed value (13) everywhere."
+    );
+}

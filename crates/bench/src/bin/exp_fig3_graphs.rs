@@ -1,0 +1,86 @@
+//! **E2 — Figure 3**: message dependency graphs.
+//!
+//! Builds the figure's many-to-one and one-to-many (AND) dependency
+//! shapes with `OSend`, prints the resulting graph properties, and
+//! measures how the relaxation in the relation translates into allowed
+//! linearizations (the paper's `EvSeq` count, up to `(r+1)!`).
+
+use causal_bench::Table;
+use causal_clocks::ProcessId;
+use causal_core::graph::MsgGraph;
+use causal_core::osend::{OSender, OccursAfter};
+
+fn main() {
+    println!("E2 / Figure 3 — dependency graphs as ordering specifications\n");
+
+    // Many-to-one: Occurs-After(m1, Msg); Occurs-After(m2, Msg)
+    // => m1 and m2 concurrent.
+    let mut tx: Vec<OSender> = (0..4).map(|i| OSender::new(ProcessId::new(i))).collect();
+    let msg = tx[0].osend("Msg", OccursAfter::none());
+    let m1 = tx[1].osend("m1", OccursAfter::message(msg.id));
+    let m2 = tx[2].osend("m2", OccursAfter::message(msg.id));
+    let mut many_to_one = MsgGraph::new();
+    many_to_one.add(msg.id, &msg.deps).unwrap();
+    many_to_one.add(m1.id, &m1.deps).unwrap();
+    many_to_one.add(m2.id, &m2.deps).unwrap();
+    assert!(many_to_one.is_concurrent(m1.id, m2.id));
+
+    // One-to-many AND: Occurs-After(Msg', m1 ∧ m2) — relation (3).
+    let msg2 = tx[3].osend("Msg'", OccursAfter::all([m1.id, m2.id]));
+    let mut and_graph = many_to_one.clone();
+    and_graph.add(msg2.id, &msg2.deps).unwrap();
+    assert!(and_graph.is_sync_point(msg2.id));
+
+    let mut table = Table::new([
+        "graph",
+        "nodes",
+        "roots",
+        "frontier",
+        "concurrent pairs",
+        "sync points",
+        "linearizations",
+    ]);
+    for (name, g) in [("many-to-one", &many_to_one), ("AND-closed", &and_graph)] {
+        table.row([
+            name.to_string(),
+            g.len().to_string(),
+            g.roots().len().to_string(),
+            g.frontier().len().to_string(),
+            g.concurrent_pairs().to_string(),
+            g.sync_points().len().to_string(),
+            g.linearizations(10_000).len().to_string(),
+        ]);
+    }
+    table.print();
+
+    // Relaxation sweep: r mutually concurrent messages between two sync
+    // points allow r! processing sequences (the paper's EvSeq list,
+    // 1 <= L <= (r+1)!).
+    println!("\nallowed processing sequences vs. width of the concurrent set:");
+    let mut sweep = Table::new(["r (concurrent msgs)", "linearizations (= r!)"]);
+    for r in 1..=6usize {
+        let mut g = MsgGraph::new();
+        let mut sender = OSender::new(ProcessId::new(0));
+        let root = sender.osend((), OccursAfter::none());
+        g.add(root.id, &root.deps).unwrap();
+        let mut interior = Vec::new();
+        for i in 0..r {
+            let mut s = OSender::new(ProcessId::new(1 + i as u32));
+            let env = s.osend((), OccursAfter::message(root.id));
+            g.add(env.id, &env.deps).unwrap();
+            interior.push(env.id);
+        }
+        let close = sender.osend((), OccursAfter::all(interior));
+        g.add(close.id, &close.deps).unwrap();
+        let count = g.linearizations(100_000).len();
+        sweep.row([r.to_string(), count.to_string()]);
+        let factorial: usize = (1..=r).product();
+        assert_eq!(count, factorial);
+    }
+    sweep.print();
+    println!(
+        "\npaper shape reproduced: weaker relations leave factorially more \
+         allowed sequences — the concurrency the model trades on — while \
+         AND-dependencies restore single-sequence agreement points."
+    );
+}

@@ -1,0 +1,107 @@
+//! Scalar (Lamport) logical clocks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scalar logical clock (Lamport 1978).
+///
+/// Lamport clocks give a total order consistent with causality (if `a → b`
+/// then `L(a) < L(b)`) but cannot *detect* concurrency; the workspace uses
+/// them for deterministic tie-breaking (e.g. in the `ASend` total-order
+/// layer) and as light-weight event counters.
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::LamportClock;
+///
+/// let mut sender = LamportClock::new();
+/// let stamp = sender.tick();        // local event / send
+///
+/// let mut receiver = LamportClock::new();
+/// let at_receive = receiver.observe(stamp); // merge + tick on receive
+/// assert!(at_receive > stamp);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LamportClock(u64);
+
+impl LamportClock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        LamportClock(0)
+    }
+
+    /// Creates a clock at a given time, e.g. when restoring from a snapshot.
+    pub const fn at(time: u64) -> Self {
+        LamportClock(time)
+    }
+
+    /// Current clock value.
+    pub const fn time(self) -> u64 {
+        self.0
+    }
+
+    /// Advances the clock for a local or send event and returns the new time.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Merges a received timestamp and ticks, returning the new time.
+    ///
+    /// This is the receive rule: `L := max(L, received) + 1`.
+    pub fn observe(&mut self, received: u64) -> u64 {
+        self.0 = self.0.max(received) + 1;
+        self.0
+    }
+}
+
+impl fmt::Display for LamportClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(LamportClock::new().time(), 0);
+        assert_eq!(LamportClock::default().time(), 0);
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.time(), 2);
+    }
+
+    #[test]
+    fn observe_takes_max_plus_one() {
+        let mut c = LamportClock::at(5);
+        assert_eq!(c.observe(10), 11);
+        assert_eq!(c.observe(3), 12); // local already ahead
+    }
+
+    #[test]
+    fn send_receive_preserves_happens_before() {
+        // a tick at the sender followed by an observe at the receiver must
+        // yield a strictly larger timestamp: L(send) < L(receive).
+        let mut sender = LamportClock::at(7);
+        let sent = sender.tick();
+        let mut receiver = LamportClock::new();
+        let received = receiver.observe(sent);
+        assert!(received > sent);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LamportClock::at(4).to_string(), "L4");
+    }
+}

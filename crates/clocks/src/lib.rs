@@ -1,0 +1,48 @@
+//! Logical clocks and identifiers for causally ordered distributed computations.
+//!
+//! This crate provides the time-keeping substrate used by the
+//! `causal-broadcast` workspace, a reproduction of *Causal Broadcasting and
+//! Consistency of Distributed Shared Data* (Ravindran & Shah, ICDCS 1994):
+//!
+//! - [`ProcessId`], [`MsgId`], [`GroupId`]: identifiers for entities,
+//!   messages, and process groups.
+//! - [`LamportClock`]: scalar logical clocks (Lamport 1978).
+//! - [`VectorClock`]: vector timestamps with the partial-order comparison
+//!   used to decide causal precedence and concurrency, plus the classic
+//!   CBCAST causal-delivery condition (Birman, Schiper & Stephenson 1991).
+//! - [`MatrixClock`]: matrix clocks used for message-stability detection
+//!   (everyone-knows-that-everyone-received), which enables garbage
+//!   collection of delivery buffers.
+//!
+//! # Examples
+//!
+//! ```
+//! use causal_clocks::{ProcessId, VectorClock, CausalOrdering};
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//!
+//! let mut a = VectorClock::new(2);
+//! let mut b = VectorClock::new(2);
+//! a.increment(p0); // a = [1, 0]
+//! b.increment(p1); // b = [0, 1]
+//! assert_eq!(a.compare(&b), CausalOrdering::Concurrent);
+//!
+//! b.merge(&a);     // b = [1, 1]
+//! assert_eq!(a.compare(&b), CausalOrdering::Before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod lamport;
+mod matrix;
+mod ordering;
+mod vector;
+
+pub use ids::{GroupId, MsgId, ProcessId};
+pub use lamport::LamportClock;
+pub use matrix::MatrixClock;
+pub use ordering::CausalOrdering;
+pub use vector::{DeliveryCheck, VectorClock};

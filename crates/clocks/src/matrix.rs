@@ -1,0 +1,181 @@
+//! Matrix clocks for message-stability detection.
+
+use crate::{ProcessId, VectorClock};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An `n × n` matrix clock: row `i` is the latest vector clock known to
+/// have been *reported by* process `p_i`.
+///
+/// The owner of the matrix updates its own row as it delivers messages and
+/// replaces other rows when it learns a fresher clock from those processes
+/// (e.g. piggybacked on their broadcasts). The column minimum
+/// [`stable_prefix`](MatrixClock::stable_prefix) then gives, for each
+/// sender, the longest prefix of its messages known to be delivered
+/// *everywhere* — such messages are **stable** and their delivery-buffer
+/// entries can be garbage collected.
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::{MatrixClock, ProcessId, VectorClock};
+///
+/// let mut m = MatrixClock::new(2);
+/// m.update_row(ProcessId::new(0), &VectorClock::from_entries([3, 1]));
+/// m.update_row(ProcessId::new(1), &VectorClock::from_entries([2, 4]));
+/// // Everyone has delivered at least 2 messages from p0 and 1 from p1.
+/// assert_eq!(m.stable_prefix().as_ref(), &[2, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixClock {
+    rows: Vec<VectorClock>,
+}
+
+impl MatrixClock {
+    /// Creates a zero matrix clock for a group of `n` processes.
+    pub fn new(n: usize) -> Self {
+        MatrixClock {
+            rows: (0..n).map(|_| VectorClock::new(n)).collect(),
+        }
+    }
+
+    /// Group size.
+    pub fn width(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The row for process `p`: the freshest vector clock known to have
+    /// been held by `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the group.
+    pub fn row(&self, p: ProcessId) -> &VectorClock {
+        &self.rows[p.as_usize()]
+    }
+
+    /// Merges a fresher clock reported by `p` into `p`'s row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the group or the widths differ.
+    pub fn update_row(&mut self, p: ProcessId, reported: &VectorClock) {
+        self.rows[p.as_usize()].merge(reported);
+    }
+
+    /// Merges another matrix clock (e.g. piggybacked whole) row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &MatrixClock) {
+        assert_eq!(self.width(), other.width(), "matrix clock width mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// For each sender `j`, the column minimum `min_i rows[i][j]`: the
+    /// number of `j`'s messages known to be delivered at *every* process.
+    ///
+    /// Messages of `j` with sequence number `<= stable_prefix()[j]` are
+    /// stable and may be garbage collected from retransmission and delivery
+    /// buffers.
+    pub fn stable_prefix(&self) -> VectorClock {
+        let n = self.width();
+        let entries = (0..n).map(|j| {
+            self.rows
+                .iter()
+                .map(|row| row.get(ProcessId::new(j as u32)))
+                .min()
+                .unwrap_or(0)
+        });
+        VectorClock::from_entries(entries)
+    }
+
+    /// Returns `true` if message `seq` from `sender` is known to be
+    /// delivered at every process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is outside the group.
+    pub fn is_stable(&self, sender: ProcessId, seq: u64) -> bool {
+        self.rows.iter().all(|row| row.get(sender) >= seq)
+    }
+}
+
+impl fmt::Display for MatrixClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{row}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn new_is_all_zero() {
+        let m = MatrixClock::new(3);
+        assert_eq!(m.width(), 3);
+        assert_eq!(m.stable_prefix().as_ref(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn update_row_merges() {
+        let mut m = MatrixClock::new(2);
+        m.update_row(p(0), &VectorClock::from_entries([2, 1]));
+        m.update_row(p(0), &VectorClock::from_entries([1, 3]));
+        assert_eq!(m.row(p(0)).as_ref(), &[2, 3]);
+    }
+
+    #[test]
+    fn stable_prefix_is_column_min() {
+        let mut m = MatrixClock::new(3);
+        m.update_row(p(0), &VectorClock::from_entries([5, 2, 1]));
+        m.update_row(p(1), &VectorClock::from_entries([4, 3, 0]));
+        m.update_row(p(2), &VectorClock::from_entries([6, 2, 2]));
+        assert_eq!(m.stable_prefix().as_ref(), &[4, 2, 0]);
+    }
+
+    #[test]
+    fn is_stable_matches_prefix() {
+        let mut m = MatrixClock::new(2);
+        m.update_row(p(0), &VectorClock::from_entries([3, 0]));
+        m.update_row(p(1), &VectorClock::from_entries([2, 0]));
+        assert!(m.is_stable(p(0), 2));
+        assert!(!m.is_stable(p(0), 3));
+        assert!(!m.is_stable(p(1), 1));
+    }
+
+    #[test]
+    fn merge_matrices() {
+        let mut a = MatrixClock::new(2);
+        a.update_row(p(0), &VectorClock::from_entries([1, 0]));
+        let mut b = MatrixClock::new(2);
+        b.update_row(p(1), &VectorClock::from_entries([1, 1]));
+        a.merge(&b);
+        assert_eq!(a.row(p(0)).as_ref(), &[1, 0]);
+        assert_eq!(a.row(p(1)).as_ref(), &[1, 1]);
+        assert_eq!(a.stable_prefix().as_ref(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_width_mismatch_panics() {
+        let mut a = MatrixClock::new(2);
+        let b = MatrixClock::new(3);
+        a.merge(&b);
+    }
+}

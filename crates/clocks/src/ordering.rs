@@ -1,0 +1,111 @@
+//! The four-valued outcome of comparing two vector timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of comparing two events under the causal partial order.
+///
+/// Unlike [`std::cmp::Ordering`], causal comparison is a *partial* order:
+/// two events may be [`Concurrent`](CausalOrdering::Concurrent), written
+/// `‖{a, b}` in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::{CausalOrdering, ProcessId, VectorClock};
+///
+/// let mut a = VectorClock::new(2);
+/// a.increment(ProcessId::new(0));
+/// let b = a.clone();
+/// assert_eq!(a.compare(&b), CausalOrdering::Equal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CausalOrdering {
+    /// The timestamps are identical.
+    Equal,
+    /// The left event causally precedes the right (`left → right`).
+    Before,
+    /// The right event causally precedes the left (`right → left`).
+    After,
+    /// Neither precedes the other: the events are concurrent (`‖`).
+    Concurrent,
+}
+
+impl CausalOrdering {
+    /// Returns `true` when the comparison establishes `left → right`.
+    pub fn is_before(self) -> bool {
+        self == CausalOrdering::Before
+    }
+
+    /// Returns `true` when the comparison establishes `right → left`.
+    pub fn is_after(self) -> bool {
+        self == CausalOrdering::After
+    }
+
+    /// Returns `true` when the events are causally unrelated.
+    pub fn is_concurrent(self) -> bool {
+        self == CausalOrdering::Concurrent
+    }
+
+    /// Flips the direction of the comparison (`a.compare(&b)` vs
+    /// `b.compare(&a)`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use causal_clocks::CausalOrdering;
+    /// assert_eq!(CausalOrdering::Before.reverse(), CausalOrdering::After);
+    /// assert_eq!(CausalOrdering::Concurrent.reverse(), CausalOrdering::Concurrent);
+    /// ```
+    pub fn reverse(self) -> Self {
+        match self {
+            CausalOrdering::Before => CausalOrdering::After,
+            CausalOrdering::After => CausalOrdering::Before,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CausalOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CausalOrdering::Equal => "equal",
+            CausalOrdering::Before => "before",
+            CausalOrdering::After => "after",
+            CausalOrdering::Concurrent => "concurrent",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CausalOrdering::Before.is_before());
+        assert!(!CausalOrdering::Before.is_after());
+        assert!(CausalOrdering::After.is_after());
+        assert!(CausalOrdering::Concurrent.is_concurrent());
+        assert!(!CausalOrdering::Equal.is_concurrent());
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        for o in [
+            CausalOrdering::Equal,
+            CausalOrdering::Before,
+            CausalOrdering::After,
+            CausalOrdering::Concurrent,
+        ] {
+            assert_eq!(o.reverse().reverse(), o);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CausalOrdering::Before.to_string(), "before");
+        assert_eq!(CausalOrdering::Concurrent.to_string(), "concurrent");
+    }
+}

@@ -1,0 +1,414 @@
+//! Vector clocks and the CBCAST causal-delivery condition.
+
+use crate::{CausalOrdering, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-width vector timestamp over a dense group `p0..pn`.
+///
+/// Entry `i` counts the broadcast events of process `p_i` known to the
+/// clock's owner. Vector clocks characterize causality exactly: for two
+/// timestamped events, `a → b` iff `VT(a) < VT(b)` component-wise (with at
+/// least one strict inequality).
+///
+/// The width of a clock is fixed at construction; all clocks compared or
+/// merged together must have the same width (the group size).
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::{CausalOrdering, ProcessId, VectorClock};
+///
+/// let p0 = ProcessId::new(0);
+/// let mut send = VectorClock::new(3);
+/// send.increment(p0);                 // p0 broadcasts: [1,0,0]
+///
+/// let mut observer = VectorClock::new(3);
+/// observer.merge(&send);              // delivery at p1: [1,0,0]
+/// assert_eq!(send.compare(&observer), CausalOrdering::Equal);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+/// Outcome of testing the CBCAST delivery condition for a message.
+///
+/// Produced by [`VectorClock::delivery_check`]; the blocked variants say
+/// *why* a message must wait, which the delivery engines surface in their
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryCheck {
+    /// The message is the next expected from its sender and all of its other
+    /// causal predecessors have been delivered: deliver now.
+    Deliverable,
+    /// A prior message from the same sender is missing: entry for the sender
+    /// is too far ahead.
+    MissingFromSender {
+        /// The sequence number the receiver expects from the sender next.
+        expected: u64,
+        /// The sequence number the message carries.
+        got: u64,
+    },
+    /// A causal predecessor from a third process has not been delivered yet.
+    MissingPredecessor {
+        /// The process whose messages are missing.
+        process: ProcessId,
+        /// How many messages from `process` the receiver has delivered.
+        have: u64,
+        /// How many the message's timestamp requires.
+        need: u64,
+    },
+    /// The message is a duplicate (already reflected in the local clock).
+    Duplicate,
+}
+
+impl VectorClock {
+    /// Creates a zero clock of width `n` (group size).
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Creates a clock from explicit entries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use causal_clocks::VectorClock;
+    /// let vt = VectorClock::from_entries([2, 0, 1]);
+    /// assert_eq!(vt.width(), 3);
+    /// ```
+    pub fn from_entries<I: IntoIterator<Item = u64>>(entries: I) -> Self {
+        VectorClock {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// The number of processes the clock covers.
+    pub fn width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the clock's width.
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.entries[p.as_usize()]
+    }
+
+    /// Sets the entry for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the clock's width.
+    pub fn set(&mut self, p: ProcessId, value: u64) {
+        self.entries[p.as_usize()] = value;
+    }
+
+    /// Increments the entry for process `p` (a broadcast by `p`) and returns
+    /// the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the clock's width.
+    pub fn increment(&mut self, p: ProcessId) -> u64 {
+        let e = &mut self.entries[p.as_usize()];
+        *e += 1;
+        *e
+    }
+
+    /// Component-wise maximum with `other` (the delivery/merge rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "cannot merge vector clocks of different widths"
+        );
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Compares two timestamps under the causal partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn compare(&self, other: &VectorClock) -> CausalOrdering {
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "cannot compare vector clocks of different widths"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => CausalOrdering::Equal,
+            (true, false) => CausalOrdering::Before,
+            (false, true) => CausalOrdering::After,
+            (true, true) => CausalOrdering::Concurrent,
+        }
+    }
+
+    /// Returns `true` if the event stamped `self` causally precedes the
+    /// event stamped `other` (`self → other`).
+    pub fn precedes(&self, other: &VectorClock) -> bool {
+        self.compare(other) == CausalOrdering::Before
+    }
+
+    /// Returns `true` if the two stamped events are concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.compare(other) == CausalOrdering::Concurrent
+    }
+
+    /// Returns `true` if every entry of `self` is `>=` the matching entry of
+    /// `other` (i.e. `self` *dominates* `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.width(), other.width());
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+    }
+
+    /// Sum of all entries — the number of broadcast events the clock has
+    /// absorbed. Useful as a cheap progress measure.
+    pub fn total_events(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Iterates over `(process, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcessId::new(i as u32), v))
+    }
+
+    /// Tests the CBCAST causal-delivery condition (Birman, Schiper &
+    /// Stephenson 1991) of a message timestamped `msg_vt` sent by `sender`
+    /// against the receiver's clock `self`.
+    ///
+    /// The message is deliverable when:
+    ///
+    /// 1. `msg_vt[sender] == self[sender] + 1` — it is the next message of
+    ///    its sender, and
+    /// 2. `msg_vt[k] <= self[k]` for every `k != sender` — every message the
+    ///    sender had delivered before sending has been delivered here too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or `sender` is out of range.
+    pub fn delivery_check(&self, msg_vt: &VectorClock, sender: ProcessId) -> DeliveryCheck {
+        assert_eq!(
+            self.width(),
+            msg_vt.width(),
+            "cannot check delivery across different clock widths"
+        );
+        let s = sender.as_usize();
+        let expected = self.entries[s] + 1;
+        let got = msg_vt.entries[s];
+        if got < expected {
+            return DeliveryCheck::Duplicate;
+        }
+        if got > expected {
+            return DeliveryCheck::MissingFromSender { expected, got };
+        }
+        for (k, (&have, &need)) in self.entries.iter().zip(&msg_vt.entries).enumerate() {
+            if k != s && need > have {
+                return DeliveryCheck::MissingPredecessor {
+                    process: ProcessId::new(k as u32),
+                    have,
+                    need,
+                };
+            }
+        }
+        DeliveryCheck::Deliverable
+    }
+
+    /// Applies the delivery of a message timestamped `msg_vt` from `sender`:
+    /// merges the timestamp into the local clock.
+    ///
+    /// Callers normally check [`delivery_check`](Self::delivery_check)
+    /// first; delivering out of order silently skips sequence numbers.
+    pub fn apply_delivery(&mut self, msg_vt: &VectorClock) {
+        self.merge(msg_vt);
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl AsRef<[u64]> for VectorClock {
+    fn as_ref(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+impl FromIterator<u64> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        VectorClock::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn new_is_zero() {
+        let vt = VectorClock::new(3);
+        assert_eq!(vt.as_ref(), &[0, 0, 0]);
+        assert_eq!(vt.total_events(), 0);
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut vt = VectorClock::new(2);
+        assert_eq!(vt.increment(p(1)), 1);
+        assert_eq!(vt.increment(p(1)), 2);
+        assert_eq!(vt.get(p(1)), 2);
+        assert_eq!(vt.get(p(0)), 0);
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = VectorClock::from_entries([3, 0, 2]);
+        let b = VectorClock::from_entries([1, 4, 2]);
+        a.merge(&b);
+        assert_eq!(a.as_ref(), &[3, 4, 2]);
+    }
+
+    #[test]
+    fn compare_all_cases() {
+        let zero = VectorClock::new(2);
+        let a = VectorClock::from_entries([1, 0]);
+        let b = VectorClock::from_entries([0, 1]);
+        let ab = VectorClock::from_entries([1, 1]);
+        assert_eq!(zero.compare(&zero), CausalOrdering::Equal);
+        assert_eq!(zero.compare(&a), CausalOrdering::Before);
+        assert_eq!(a.compare(&zero), CausalOrdering::After);
+        assert_eq!(a.compare(&b), CausalOrdering::Concurrent);
+        assert_eq!(a.compare(&ab), CausalOrdering::Before);
+        assert!(a.precedes(&ab));
+        assert!(a.concurrent_with(&b));
+        assert!(ab.dominates(&a) && ab.dominates(&b));
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn compare_width_mismatch_panics() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        let _ = a.compare(&b);
+    }
+
+    #[test]
+    fn delivery_condition_next_in_sequence() {
+        // Receiver has seen nothing; p0's first message [1,0] is deliverable.
+        let local = VectorClock::new(2);
+        let mut msg = VectorClock::new(2);
+        msg.increment(p(0));
+        assert_eq!(local.delivery_check(&msg, p(0)), DeliveryCheck::Deliverable);
+    }
+
+    #[test]
+    fn delivery_condition_gap_from_sender() {
+        // p0's *second* message arrives first: blocked.
+        let local = VectorClock::new(2);
+        let msg = VectorClock::from_entries([2, 0]);
+        assert_eq!(
+            local.delivery_check(&msg, p(0)),
+            DeliveryCheck::MissingFromSender {
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn delivery_condition_missing_third_party() {
+        // p1's message depends on one message from p0 the receiver lacks.
+        let local = VectorClock::new(3);
+        let msg = VectorClock::from_entries([1, 1, 0]);
+        assert_eq!(
+            local.delivery_check(&msg, p(1)),
+            DeliveryCheck::MissingPredecessor {
+                process: p(0),
+                have: 0,
+                need: 1
+            }
+        );
+    }
+
+    #[test]
+    fn delivery_condition_duplicate() {
+        let local = VectorClock::from_entries([1, 0]);
+        let msg = VectorClock::from_entries([1, 0]);
+        assert_eq!(local.delivery_check(&msg, p(0)), DeliveryCheck::Duplicate);
+    }
+
+    #[test]
+    fn apply_delivery_advances_clock() {
+        let mut local = VectorClock::new(2);
+        let msg = VectorClock::from_entries([1, 0]);
+        local.apply_delivery(&msg);
+        assert_eq!(local.as_ref(), &[1, 0]);
+        // Now p1 sends having seen p0's message.
+        let msg2 = VectorClock::from_entries([1, 1]);
+        assert_eq!(
+            local.delivery_check(&msg2, p(1)),
+            DeliveryCheck::Deliverable
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let vt = VectorClock::from_entries([1, 0, 2]);
+        assert_eq!(vt.to_string(), "[1,0,2]");
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let vt = VectorClock::from_entries([5, 7]);
+        let pairs: Vec<_> = vt.iter().collect();
+        assert_eq!(pairs, vec![(p(0), 5), (p(1), 7)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let vt: VectorClock = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(vt.as_ref(), &[1, 2, 3]);
+    }
+}

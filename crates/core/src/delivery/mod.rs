@@ -1,0 +1,23 @@
+//! Delivery engines: ordering message streams before the application sees
+//! them.
+//!
+//! Two causal engines realize the paper's §3.2 observation interfaces:
+//!
+//! - [`GraphDelivery`]: **explicit-graph** (Psync-style) delivery — a
+//!   message waits exactly for its declared `Occurs-After` predecessors.
+//!   This carries the application's *semantic* ordering.
+//! - [`CbcastEngine`]: **vector-clock** (ISIS CBCAST-style) delivery — a
+//!   message waits for everything its sender had delivered before sending
+//!   (*potential* causality), which may include incidental dependencies the
+//!   application never asked for.
+//!
+//! Two weaker engines serve as baselines: [`FifoDelivery`] (per-sender
+//! order only) and no engine at all (process on receipt).
+
+mod fifo;
+mod graph_engine;
+mod vector_engine;
+
+pub use fifo::{FifoDelivery, FifoEnvelope};
+pub use graph_engine::GraphDelivery;
+pub use vector_engine::{CbcastEngine, VtEnvelope};

@@ -1,0 +1,453 @@
+//! Reliable broadcast: positive-acknowledgement retransmission over a
+//! lossy network.
+//!
+//! The paper's delivery guarantees presuppose that every broadcast message
+//! eventually reaches every member ("the receipt of m guarantees that any
+//! dependency on m … is eventually satisfiable at all members", §3.3).
+//! Over the simulator's lossy links this layer supplies that guarantee:
+//! the originator keeps a copy of each message until every peer has
+//! acknowledged it, retransmitting on a timer; receivers acknowledge every
+//! copy and absorb duplicates.
+
+use causal_clocks::{MsgId, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Envelope types that carry a unique message identity (implemented by
+/// both the graph and vector-clock envelopes).
+pub trait HasMsgId {
+    /// The unique identity of this message.
+    fn msg_id(&self) -> MsgId;
+}
+
+impl<P> HasMsgId for crate::osend::GraphEnvelope<P> {
+    fn msg_id(&self) -> MsgId {
+        self.id
+    }
+}
+
+impl<P> HasMsgId for crate::delivery::VtEnvelope<P> {
+    fn msg_id(&self) -> MsgId {
+        self.id
+    }
+}
+
+/// Wire messages of the reliability layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RbMsg<E> {
+    /// An application envelope (original transmission or retransmission).
+    Data(E),
+    /// Acknowledgement of `Data` carrying this id.
+    Ack(MsgId),
+}
+
+/// Per-member reliability state: tracks unacknowledged copies of messages
+/// this member originated and deduplicates incoming data.
+///
+/// Sans-IO: methods return `(destination, message)` pairs for the hosting
+/// node to transmit.
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::ProcessId;
+/// use causal_core::osend::{OSender, OccursAfter};
+/// use causal_core::rbcast::{RbMsg, ReliableBroadcast};
+///
+/// let mut tx = OSender::new(ProcessId::new(0));
+/// let env = tx.osend("op", OccursAfter::none());
+///
+/// let mut rb = ReliableBroadcast::new(ProcessId::new(0), 3);
+/// let sends = rb.broadcast(env.clone());
+/// assert_eq!(sends.len(), 2);                    // to p1 and p2
+/// assert_eq!(rb.pending_acks(), 2);
+///
+/// rb.on_ack(ProcessId::new(1), env.id);
+/// rb.on_ack(ProcessId::new(2), env.id);
+/// assert_eq!(rb.pending_acks(), 0);              // fully acknowledged
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliableBroadcast<E> {
+    me: ProcessId,
+    peers: BTreeSet<ProcessId>,
+    outgoing: HashMap<MsgId, Outgoing<E>>,
+    /// Order of initiation, for deterministic retransmission order.
+    outgoing_order: Vec<MsgId>,
+    seen: HashSet<MsgId>,
+    retransmissions: u64,
+    duplicates: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Outgoing<E> {
+    env: E,
+    unacked: BTreeSet<ProcessId>,
+}
+
+impl<E: HasMsgId + Clone> ReliableBroadcast<E> {
+    /// Creates the reliability state for member `me` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        assert!(me.as_usize() < n, "member id outside group");
+        ReliableBroadcast {
+            me,
+            peers: (0..n as u32)
+                .map(ProcessId::new)
+                .filter(|&p| p != me)
+                .collect(),
+            outgoing: HashMap::new(),
+            outgoing_order: Vec::new(),
+            seen: HashSet::new(),
+            retransmissions: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// The owning member.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The peers currently owed acknowledgements for new broadcasts.
+    pub fn peers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.peers.iter().copied()
+    }
+
+    /// Starts including `peer` in future broadcasts — called after a view
+    /// change admits a new member. In-flight messages are unaffected (the
+    /// joiner's state transfer covers them).
+    pub fn add_peer(&mut self, peer: ProcessId) {
+        if peer != self.me {
+            self.peers.insert(peer);
+        }
+    }
+
+    /// Creates reliability state with an explicit peer set (used by a
+    /// joining member, which starts with no peers until its first view is
+    /// installed).
+    pub fn with_peers<I: IntoIterator<Item = ProcessId>>(me: ProcessId, peers: I) -> Self {
+        ReliableBroadcast {
+            me,
+            peers: peers.into_iter().filter(|&p| p != me).collect(),
+            outgoing: HashMap::new(),
+            outgoing_order: Vec::new(),
+            seen: HashSet::new(),
+            retransmissions: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Adds `peer` to the unacknowledged set of every in-flight outgoing
+    /// message and returns fresh transmissions to it — used when a new
+    /// member joins so that messages broadcast *before* the join still
+    /// reach it (the complement of the store replay, which covers
+    /// messages already fully acknowledged).
+    pub fn extend_unacked(&mut self, peer: ProcessId) -> Vec<(ProcessId, RbMsg<E>)> {
+        if peer == self.me {
+            return Vec::new();
+        }
+        let mut sends = Vec::new();
+        for id in &self.outgoing_order {
+            let out = self.outgoing.get_mut(id).expect("ordered ids exist");
+            if out.unacked.insert(peer) {
+                sends.push((peer, RbMsg::Data(out.env.clone())));
+            }
+        }
+        sends
+    }
+
+    /// Stops expecting acknowledgements from `peer` — called after a view
+    /// change removes a crashed member. Outstanding copies owed to it are
+    /// dropped; fully acknowledged messages are retired.
+    pub fn remove_peer(&mut self, peer: ProcessId) {
+        self.peers.remove(&peer);
+        self.outgoing.retain(|id, out| {
+            out.unacked.remove(&peer);
+            if out.unacked.is_empty() {
+                self.outgoing_order.retain(|m| m != id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Reliably replays stored envelopes (own or others') to one peer —
+    /// the log-replay state transfer to a joining member. Each envelope
+    /// is tracked as outgoing with the peer as sole unacknowledged target,
+    /// so the normal retransmission machinery covers losses. Envelopes
+    /// already in flight (e.g. via [`extend_unacked`](Self::extend_unacked))
+    /// are skipped.
+    pub fn replay_to<I>(&mut self, peer: ProcessId, envs: I) -> Vec<(ProcessId, RbMsg<E>)>
+    where
+        I: IntoIterator<Item = E>,
+    {
+        let mut sends = Vec::new();
+        for env in envs {
+            let id = env.msg_id();
+            if self.outgoing.contains_key(&id) {
+                continue;
+            }
+            let mut unacked = BTreeSet::new();
+            unacked.insert(peer);
+            sends.push((peer, RbMsg::Data(env.clone())));
+            self.outgoing.insert(id, Outgoing { env, unacked });
+            self.outgoing_order.push(id);
+        }
+        sends
+    }
+
+    /// Registers a locally originated envelope and returns the initial
+    /// transmissions to every other member. The caller delivers the
+    /// envelope to its *own* stack directly (self-delivery is reliable).
+    pub fn broadcast(&mut self, env: E) -> Vec<(ProcessId, RbMsg<E>)> {
+        let id = env.msg_id();
+        self.seen.insert(id);
+        let unacked = self.peers.clone();
+        let sends = unacked
+            .iter()
+            .map(|&p| (p, RbMsg::Data(env.clone())))
+            .collect();
+        if !unacked.is_empty() {
+            self.outgoing.insert(id, Outgoing { env, unacked });
+            self.outgoing_order.push(id);
+        }
+        sends
+    }
+
+    /// Handles incoming data. Returns the envelope if it is fresh (to be
+    /// handed to the delivery engine) plus the acknowledgement to send
+    /// back; duplicates still produce an acknowledgement.
+    pub fn on_data(&mut self, from: ProcessId, env: E) -> (Option<E>, Vec<(ProcessId, RbMsg<E>)>) {
+        let id = env.msg_id();
+        let ack = vec![(from, RbMsg::Ack(id))];
+        if self.seen.insert(id) {
+            (Some(env), ack)
+        } else {
+            self.duplicates += 1;
+            (None, ack)
+        }
+    }
+
+    /// Handles an acknowledgement from a peer.
+    pub fn on_ack(&mut self, from: ProcessId, id: MsgId) {
+        if let Some(out) = self.outgoing.get_mut(&id) {
+            out.unacked.remove(&from);
+            if out.unacked.is_empty() {
+                self.outgoing.remove(&id);
+                self.outgoing_order.retain(|&m| m != id);
+            }
+        }
+    }
+
+    /// Returns retransmissions for every copy still unacknowledged, in
+    /// initiation order. Call from a periodic timer.
+    pub fn retransmissions(&mut self) -> Vec<(ProcessId, RbMsg<E>)> {
+        let mut out = Vec::new();
+        for id in &self.outgoing_order {
+            let outgoing = &self.outgoing[id];
+            for &p in &outgoing.unacked {
+                out.push((p, RbMsg::Data(outgoing.env.clone())));
+            }
+        }
+        self.retransmissions += out.len() as u64;
+        out
+    }
+
+    /// `true` while any copy is unacknowledged (keep the retransmit timer
+    /// armed).
+    pub fn has_pending(&self) -> bool {
+        !self.outgoing.is_empty()
+    }
+
+    /// Total outstanding (message, peer) acknowledgements.
+    pub fn pending_acks(&self) -> usize {
+        self.outgoing.values().map(|o| o.unacked.len()).sum()
+    }
+
+    /// Retransmitted copies so far.
+    pub fn retransmission_count(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Duplicate data receptions absorbed so far.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Forgets duplicate-suppression entries for the globally stable
+    /// prefix (see [`StabilityTracker`](crate::stability::StabilityTracker)):
+    /// a stable message can never be retransmitted to us again, so its
+    /// `seen` entry is dead weight. Unacknowledged outgoing copies are
+    /// never pruned — they are precisely the unstable messages.
+    pub fn compact(&mut self, stable: &causal_clocks::VectorClock) {
+        self.seen.retain(|id| id.seq() > stable.get(id.origin()));
+    }
+
+    /// Retained duplicate-suppression entries (what [`compact`](Self::compact)
+    /// bounds).
+    pub fn retained_len(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osend::{GraphEnvelope, OSender, OccursAfter};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn env(sender: &mut OSender, payload: u8) -> GraphEnvelope<u8> {
+        sender.osend(payload, OccursAfter::none())
+    }
+
+    #[test]
+    fn broadcast_targets_all_peers() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 4);
+        let sends = rb.broadcast(env(&mut tx, 1));
+        let targets: Vec<_> = sends.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![p(1), p(2), p(3)]);
+        assert_eq!(rb.pending_acks(), 3);
+        assert!(rb.has_pending());
+    }
+
+    #[test]
+    fn acks_clear_pending() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 3);
+        let e = env(&mut tx, 1);
+        rb.broadcast(e.clone());
+        rb.on_ack(p(1), e.id);
+        assert_eq!(rb.pending_acks(), 1);
+        rb.on_ack(p(2), e.id);
+        assert!(!rb.has_pending());
+        // Late/duplicate ack is harmless.
+        rb.on_ack(p(2), e.id);
+    }
+
+    #[test]
+    fn fresh_data_released_and_acked() {
+        let mut tx = OSender::new(p(0));
+        let e = env(&mut tx, 7);
+        let mut rb = ReliableBroadcast::new(p(1), 3);
+        let (fresh, acks) = rb.on_data(p(0), e.clone());
+        assert_eq!(fresh, Some(e.clone()));
+        assert_eq!(acks, vec![(p(0), RbMsg::Ack(e.id))]);
+    }
+
+    #[test]
+    fn duplicate_data_reacked_but_not_released() {
+        let mut tx = OSender::new(p(0));
+        let e = env(&mut tx, 7);
+        let mut rb = ReliableBroadcast::new(p(1), 3);
+        rb.on_data(p(0), e.clone());
+        let (fresh, acks) = rb.on_data(p(0), e.clone());
+        assert_eq!(fresh, None);
+        assert_eq!(acks.len(), 1); // re-ack so the sender can stop
+        assert_eq!(rb.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn retransmissions_cover_unacked_only() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 3);
+        let e1 = env(&mut tx, 1);
+        let e2 = env(&mut tx, 2);
+        rb.broadcast(e1.clone());
+        rb.broadcast(e2.clone());
+        rb.on_ack(p(1), e1.id);
+        let rtx = rb.retransmissions();
+        // e1 still owed to p2; e2 owed to both.
+        assert_eq!(rtx.len(), 3);
+        assert_eq!(rb.retransmission_count(), 3);
+        let to_p1: Vec<_> = rtx.iter().filter(|(to, _)| *to == p(1)).collect();
+        assert_eq!(to_p1.len(), 1); // only e2
+    }
+
+    #[test]
+    fn remove_peer_drops_owed_copies() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 3);
+        let e = env(&mut tx, 1);
+        rb.broadcast(e.clone());
+        assert_eq!(rb.pending_acks(), 2);
+        rb.remove_peer(p(2));
+        assert_eq!(rb.pending_acks(), 1);
+        assert_eq!(rb.peers().collect::<Vec<_>>(), vec![p(1)]);
+        // The remaining ack retires the message entirely.
+        rb.on_ack(p(1), e.id);
+        assert!(!rb.has_pending());
+        // New broadcasts no longer target the removed peer.
+        let sends = rb.broadcast(env(&mut tx, 2));
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, p(1));
+    }
+
+    #[test]
+    fn with_peers_and_add_peer() {
+        let mut tx = OSender::new(p(5));
+        let mut rb = ReliableBroadcast::with_peers(p(5), []);
+        assert!(rb.broadcast(env(&mut tx, 1)).is_empty());
+        rb.add_peer(p(0));
+        rb.add_peer(p(5)); // self: ignored
+        let sends = rb.broadcast(env(&mut tx, 2));
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, p(0));
+    }
+
+    #[test]
+    fn extend_unacked_retargets_in_flight_messages() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 2);
+        let e1 = env(&mut tx, 1);
+        let e2 = env(&mut tx, 2);
+        rb.broadcast(e1.clone());
+        rb.broadcast(e2.clone());
+        rb.on_ack(p(1), e1.id); // e1 fully acked: retired
+        rb.add_peer(p(2));
+        let sends = rb.extend_unacked(p(2));
+        // Only e2 is still in flight: one fresh copy to the joiner.
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(&sends[0].1, RbMsg::Data(d) if d.id == e2.id));
+        assert_eq!(rb.pending_acks(), 2); // e2 owed to p1 and p2
+                                          // Idempotent.
+        assert!(rb.extend_unacked(p(2)).is_empty());
+    }
+
+    #[test]
+    fn remove_last_outstanding_peer_retires_message() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 2);
+        rb.broadcast(env(&mut tx, 1));
+        assert!(rb.has_pending());
+        rb.remove_peer(p(1));
+        assert!(!rb.has_pending());
+        assert!(rb.retransmissions().is_empty());
+    }
+
+    #[test]
+    fn single_member_group_has_no_sends() {
+        let mut tx = OSender::new(p(0));
+        let mut rb = ReliableBroadcast::new(p(0), 1);
+        assert!(rb.broadcast(env(&mut tx, 1)).is_empty());
+        assert!(!rb.has_pending());
+    }
+
+    #[test]
+    fn own_broadcast_is_seen_no_self_duplicate() {
+        // If the transport loops our own Data back, it is absorbed.
+        let mut tx = OSender::new(p(0));
+        let e = env(&mut tx, 1);
+        let mut rb = ReliableBroadcast::new(p(0), 2);
+        rb.broadcast(e.clone());
+        let (fresh, _) = rb.on_data(p(1), e);
+        assert_eq!(fresh, None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Message-stability tracking for garbage collection.
+//!
+//! Causal delivery must remember which messages it has seen (duplicate
+//! suppression) and delivered (dependency checks) — state that grows
+//! forever unless pruned. A message may be forgotten once it is
+//! **stable**: delivered at *every* member, so no retransmission,
+//! duplicate, or dependency referencing it can do anything new.
+//!
+//! [`StabilityTracker`] derives stability the classic way (cf. the
+//! matrix-clock discussion in the CBCAST literature the paper builds on):
+//! each member summarizes its deliveries as a **contiguous prefix** per
+//! origin, gossips that vector, and takes the column minimum over all
+//! members' reports — everything below the minimum is stable everywhere
+//! and may be compacted
+//! ([`GraphDelivery::compact`](crate::delivery::GraphDelivery::compact),
+//! [`ReliableBroadcast::compact`](crate::rbcast::ReliableBroadcast::compact)).
+
+use causal_clocks::{MatrixClock, MsgId, ProcessId, VectorClock};
+use std::collections::BTreeSet;
+
+/// Tracks, per origin, the longest *contiguous* prefix of sequence
+/// numbers delivered locally (graph delivery may release a sender's
+/// messages out of per-sender order, so out-of-order deliveries are
+/// parked until the gap fills).
+#[derive(Debug, Clone)]
+pub struct ContiguousPrefix {
+    next: Vec<u64>,
+    parked: Vec<BTreeSet<u64>>,
+}
+
+impl ContiguousPrefix {
+    /// Creates a tracker for a group of `n` origins (prefix starts empty;
+    /// sequence numbers start at 1).
+    pub fn new(n: usize) -> Self {
+        ContiguousPrefix {
+            next: vec![1; n],
+            parked: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Records a delivery and extends the prefix as far as it now reaches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's origin is outside the group.
+    pub fn on_deliver(&mut self, id: MsgId) {
+        let o = id.origin().as_usize();
+        let seq = id.seq();
+        if seq < self.next[o] {
+            return; // already inside the prefix (duplicate)
+        }
+        self.parked[o].insert(seq);
+        while self.parked[o].remove(&self.next[o]) {
+            self.next[o] += 1;
+        }
+    }
+
+    /// The prefix as a vector clock: entry `j` = highest seq such that
+    /// every message from `j` up to it has been delivered here.
+    pub fn as_clock(&self) -> VectorClock {
+        VectorClock::from_entries(self.next.iter().map(|&n| n - 1))
+    }
+
+    /// Deliveries parked beyond a gap (diagnostic).
+    pub fn parked_len(&self) -> usize {
+        self.parked.iter().map(BTreeSet::len).sum()
+    }
+}
+
+/// Per-member stability state: local contiguous prefix plus the freshest
+/// prefix reported by every peer, combined into a matrix clock whose
+/// column minimum is the globally stable prefix.
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::{MsgId, ProcessId, VectorClock};
+/// use causal_core::stability::StabilityTracker;
+///
+/// let mut t = StabilityTracker::new(ProcessId::new(0), 2);
+/// t.on_deliver(MsgId::new(ProcessId::new(0), 1));
+/// // Peer p1 reports it has also delivered p0's first message.
+/// t.on_report(ProcessId::new(1), &VectorClock::from_entries([1, 0]));
+/// assert_eq!(t.stable().get(ProcessId::new(0)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilityTracker {
+    me: ProcessId,
+    prefix: ContiguousPrefix,
+    matrix: MatrixClock,
+}
+
+impl StabilityTracker {
+    /// Creates the tracker for member `me` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        assert!(me.as_usize() < n, "member id outside group");
+        StabilityTracker {
+            me,
+            prefix: ContiguousPrefix::new(n),
+            matrix: MatrixClock::new(n),
+        }
+    }
+
+    /// Records a local delivery.
+    pub fn on_deliver(&mut self, id: MsgId) {
+        self.prefix.on_deliver(id);
+        let clock = self.prefix.as_clock();
+        self.matrix.update_row(self.me, &clock);
+    }
+
+    /// The local delivered-prefix clock — what this member gossips.
+    pub fn local_report(&self) -> VectorClock {
+        self.prefix.as_clock()
+    }
+
+    /// Merges a peer's gossiped prefix.
+    pub fn on_report(&mut self, from: ProcessId, report: &VectorClock) {
+        self.matrix.update_row(from, report);
+    }
+
+    /// The globally stable prefix: per origin, the highest seq delivered
+    /// at *every* member (as far as this member knows).
+    pub fn stable(&self) -> VectorClock {
+        self.matrix.stable_prefix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(p: u32, s: u64) -> MsgId {
+        MsgId::new(ProcessId::new(p), s)
+    }
+
+    #[test]
+    fn prefix_extends_contiguously() {
+        let mut p = ContiguousPrefix::new(2);
+        p.on_deliver(id(0, 1));
+        p.on_deliver(id(0, 2));
+        assert_eq!(p.as_clock().as_ref(), &[2, 0]);
+    }
+
+    #[test]
+    fn gaps_park_until_filled() {
+        let mut p = ContiguousPrefix::new(1);
+        p.on_deliver(id(0, 3));
+        assert_eq!(p.as_clock().as_ref(), &[0]);
+        assert_eq!(p.parked_len(), 1);
+        p.on_deliver(id(0, 1));
+        assert_eq!(p.as_clock().as_ref(), &[1]);
+        p.on_deliver(id(0, 2));
+        assert_eq!(p.as_clock().as_ref(), &[3]);
+        assert_eq!(p.parked_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_inside_prefix_ignored() {
+        let mut p = ContiguousPrefix::new(1);
+        p.on_deliver(id(0, 1));
+        p.on_deliver(id(0, 1));
+        assert_eq!(p.as_clock().as_ref(), &[1]);
+        assert_eq!(p.parked_len(), 0);
+    }
+
+    #[test]
+    fn stability_is_column_minimum() {
+        let mut t = StabilityTracker::new(ProcessId::new(0), 3);
+        for s in 1..=4 {
+            t.on_deliver(id(1, s));
+        }
+        // Nothing is stable until everyone reports.
+        assert_eq!(t.stable().get(ProcessId::new(1)), 0);
+        t.on_report(ProcessId::new(1), &VectorClock::from_entries([0, 4, 0]));
+        t.on_report(ProcessId::new(2), &VectorClock::from_entries([0, 2, 0]));
+        // p2 is the laggard: only the first two of p1's messages are
+        // stable everywhere.
+        assert_eq!(t.stable().get(ProcessId::new(1)), 2);
+    }
+
+    #[test]
+    fn stale_reports_never_regress() {
+        let mut t = StabilityTracker::new(ProcessId::new(0), 2);
+        t.on_report(ProcessId::new(1), &VectorClock::from_entries([5, 0]));
+        t.on_report(ProcessId::new(1), &VectorClock::from_entries([3, 0]));
+        for s in 1..=5 {
+            t.on_deliver(id(0, s));
+        }
+        assert_eq!(t.stable().get(ProcessId::new(0)), 5);
+    }
+}

@@ -1,0 +1,347 @@
+//! Property-based tests for the core delivery, ordering, and stability
+//! invariants.
+
+use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_core::check;
+use causal_core::delivery::{CbcastEngine, GraphDelivery, VtEnvelope};
+use causal_core::graph::MsgGraph;
+use causal_core::osend::GraphEnvelope;
+use causal_core::stable::{LogEntry, StablePointDetector};
+use causal_core::statemachine::{is_transition_preserving, Operation};
+use causal_core::total::{DeterministicMerge, RoundMsg};
+use causal_core::wire;
+use proptest::prelude::*;
+
+/// A randomly generated message universe: message `i` (0-based) originates
+/// at process `i % n_procs` and depends on a random subset of messages
+/// `< i` (so the dependency relation is acyclic by construction).
+#[derive(Debug, Clone)]
+struct RandomDag {
+    n_procs: usize,
+    /// deps[i] = indices of the messages message i depends on.
+    deps: Vec<Vec<usize>>,
+    /// arrival[k] = index of the k-th arriving message at the receiver.
+    arrival: Vec<usize>,
+}
+
+fn msg_id(dag_index: usize, n_procs: usize, seqs: &mut [u64]) -> MsgId {
+    let origin = dag_index % n_procs;
+    seqs[origin] += 1;
+    MsgId::new(ProcessId::new(origin as u32), seqs[origin])
+}
+
+fn dag_envelopes(dag: &RandomDag) -> Vec<GraphEnvelope<usize>> {
+    let mut seqs = vec![0u64; dag.n_procs];
+    let mut ids = Vec::with_capacity(dag.deps.len());
+    for i in 0..dag.deps.len() {
+        ids.push(msg_id(i, dag.n_procs, &mut seqs));
+    }
+    dag.deps
+        .iter()
+        .enumerate()
+        .map(|(i, deps)| GraphEnvelope {
+            id: ids[i],
+            deps: {
+                let mut d: Vec<MsgId> = deps.iter().map(|&j| ids[j]).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            },
+            payload: i,
+        })
+        .collect()
+}
+
+fn arb_dag(max_msgs: usize) -> impl Strategy<Value = RandomDag> {
+    (2usize..=4, 1usize..=max_msgs)
+        .prop_flat_map(|(n_procs, n_msgs)| {
+            let deps = (0..n_msgs)
+                .map(|i| {
+                    if i == 0 {
+                        Just(Vec::new()).boxed()
+                    } else {
+                        proptest::collection::vec(0..i, 0..=i.min(3)).boxed()
+                    }
+                })
+                .collect::<Vec<_>>();
+            (Just(n_procs), deps, Just(n_msgs))
+        })
+        .prop_flat_map(|(n_procs, deps, n_msgs)| {
+            let arrival = Just((0..n_msgs).collect::<Vec<_>>()).prop_shuffle();
+            (Just(n_procs), Just(deps), arrival)
+        })
+        .prop_map(|(n_procs, deps, arrival)| RandomDag {
+            n_procs,
+            deps,
+            arrival,
+        })
+}
+
+proptest! {
+    /// Whatever order envelopes arrive in, the graph engine (1) delivers
+    /// everything, (2) never delivers a message before its declared
+    /// dependencies, and (3) produces a linearization of the common graph.
+    #[test]
+    fn graph_delivery_always_linearizes(dag in arb_dag(24)) {
+        let envs = dag_envelopes(&dag);
+        let mut rx = GraphDelivery::new();
+        let mut delivered = Vec::new();
+        for &k in &dag.arrival {
+            delivered.extend(rx.on_receive(envs[k].clone()));
+        }
+        prop_assert_eq!(delivered.len(), envs.len());
+        prop_assert_eq!(rx.pending_len(), 0);
+
+        // Rebuild the reference graph in definition order.
+        let mut graph = MsgGraph::new();
+        for env in &envs {
+            graph.add(env.id, &env.deps).unwrap();
+        }
+        prop_assert!(graph.is_linearization(rx.log()));
+        let log_with_deps: Vec<(MsgId, Vec<MsgId>)> =
+            delivered.iter().map(|e| (e.id, e.deps.clone())).collect();
+        prop_assert!(check::causal_order_respected(&log_with_deps, 0).is_ok());
+    }
+
+    /// Duplicated arrivals change nothing: same log, every duplicate
+    /// absorbed.
+    #[test]
+    fn graph_delivery_idempotent_under_duplication(dag in arb_dag(16)) {
+        let envs = dag_envelopes(&dag);
+        let mut once = GraphDelivery::new();
+        for &k in &dag.arrival {
+            once.on_receive(envs[k].clone());
+        }
+        let mut twice = GraphDelivery::new();
+        for &k in &dag.arrival {
+            twice.on_receive(envs[k].clone());
+            twice.on_receive(envs[k].clone());
+        }
+        prop_assert_eq!(once.log(), twice.log());
+        prop_assert_eq!(twice.duplicates(), envs.len() as u64);
+    }
+
+    /// Two members receiving the same envelopes in different orders build
+    /// identical dependency graphs (the "stable information" property).
+    #[test]
+    fn graphs_identical_across_members(dag in arb_dag(16), seed in 0u64..1000) {
+        let envs = dag_envelopes(&dag);
+        let mut rx1 = GraphDelivery::new();
+        for &k in &dag.arrival {
+            rx1.on_receive(envs[k].clone());
+        }
+        // Second member: rotate the arrival order deterministically.
+        let rot = (seed as usize) % envs.len().max(1);
+        let mut rx2 = GraphDelivery::new();
+        for i in 0..dag.arrival.len() {
+            let k = dag.arrival[(i + rot) % dag.arrival.len()];
+            rx2.on_receive(envs[k].clone());
+        }
+        prop_assert_eq!(rx1.graph(), rx2.graph());
+    }
+
+    /// CBCAST: a sender's stream plus cross-sender potential causality is
+    /// respected at a receiver under arbitrary reordering of the wire.
+    #[test]
+    fn cbcast_respects_potential_causality(
+        sends_per in proptest::collection::vec(1usize..5, 3),
+        shuffle in proptest::collection::vec(0usize..1000, 20),
+    ) {
+        // Three senders broadcast in lockstep, each delivering everything
+        // available before each send (maximal potential causality).
+        let n = 3;
+        let mut engines: Vec<CbcastEngine<usize>> =
+            (0..n).map(|i| CbcastEngine::new(ProcessId::new(i as u32), n)).collect();
+        let mut wire: Vec<VtEnvelope<usize>> = Vec::new();
+        let mut counter = 0usize;
+        for round in 0..*sends_per.iter().max().unwrap() {
+            for s in 0..n {
+                if round < sends_per[s] {
+                    // Deliver everything on the wire to sender s first.
+                    for env in wire.clone() {
+                        engines[s].on_receive(env);
+                    }
+                    let env = engines[s].broadcast(counter);
+                    counter += 1;
+                    wire.push(env);
+                }
+            }
+        }
+        // A fresh receiver gets the wire in a shuffled order.
+        let mut order: Vec<usize> = (0..wire.len()).collect();
+        for (i, &r) in shuffle.iter().enumerate() {
+            if !order.is_empty() {
+                let len = order.len();
+                order.swap(i % len, r % len);
+            }
+        }
+        // The observer reuses p2's slot but never broadcasts itself, so
+        // even "its own" workload messages arrive like any other sender's.
+        let mut log: Vec<(MsgId, causal_clocks::VectorClock)> = Vec::new();
+        let mut observer = CbcastEngine::<usize>::new(ProcessId::new(2), n);
+        for &k in &order {
+            for released in observer.on_receive(wire[k].clone()) {
+                log.push((released.id, released.vt.clone()));
+            }
+        }
+        prop_assert_eq!(log.len(), wire.len());
+        prop_assert!(check::vt_logs_respect_causality(&[log]).is_ok());
+    }
+
+    /// Deterministic merge emits the same total order for every arrival
+    /// permutation.
+    #[test]
+    fn merge_total_order_is_permutation_invariant(
+        rounds in 1usize..5,
+        members in 2usize..5,
+        perm_seed in any::<u64>(),
+    ) {
+        let mut msgs = Vec::new();
+        for r in 0..rounds as u64 {
+            for m in 0..members {
+                msgs.push(RoundMsg { round: r, from: ProcessId::new(m as u32), payload: (r, m) });
+            }
+        }
+        // Reference order: natural arrival.
+        let mut merge_a = DeterministicMerge::new(members);
+        let mut out_a = Vec::new();
+        for m in &msgs {
+            out_a.extend(merge_a.on_receive(m.clone()));
+        }
+        // Permuted arrival (simple LCG-driven Fisher-Yates).
+        let mut order: Vec<usize> = (0..msgs.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut merge_b = DeterministicMerge::new(members);
+        let mut out_b = Vec::new();
+        for &k in &order {
+            out_b.extend(merge_b.on_receive(msgs[k].clone()));
+        }
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    /// Commutative operation sets are always transition-preserving.
+    #[test]
+    fn commutative_sets_are_transition_preserving(
+        deltas in proptest::collection::vec(-100i64..100, 0..6),
+        initial in -1000i64..1000,
+    ) {
+        #[derive(Clone)]
+        struct Add(i64);
+        impl Operation<i64> for Add {
+            fn apply(&self, s: &mut i64) { *s += self.0; }
+            fn is_commutative(&self) -> bool { true }
+        }
+        let ops: Vec<Add> = deltas.into_iter().map(Add).collect();
+        prop_assert!(is_transition_preserving(&initial, &ops, 1000));
+    }
+
+    /// §6.1 cycles: every member flags the same stable points whatever
+    /// interleaving of the commutative interior it observed.
+    #[test]
+    fn stable_points_reproducible_across_interleavings(
+        cycles in 1usize..4,
+        width in 1usize..5,
+        rotations in proptest::collection::vec(0usize..7, 3),
+    ) {
+        // Build the §6.1 relation: nc(0) -> ||{c...} -> nc(1) -> ...
+        let nc_id = |r: u64| MsgId::new(ProcessId::new(0), r + 1);
+        let c_id = |r: u64, k: usize| MsgId::new(ProcessId::new(1 + k as u32), r + 1);
+        let mut structure: Vec<(MsgId, Vec<MsgId>, bool)> = Vec::new();
+        structure.push((nc_id(0), vec![], true));
+        for r in 0..cycles as u64 {
+            let interior: Vec<MsgId> = (0..width).map(|k| c_id(r, k)).collect();
+            for &c in &interior {
+                structure.push((c, vec![nc_id(r)], false));
+            }
+            structure.push((nc_id(r + 1), interior, true));
+        }
+        // Each "member" delivers with its interior rotated differently —
+        // any rotation is a valid causal delivery order here.
+        let member_logs: Vec<Vec<LogEntry>> = rotations.iter().map(|&rot| {
+            let mut log = Vec::new();
+            let mut i = 0;
+            while i < structure.len() {
+                let (id, deps, sync) = structure[i].clone();
+                if sync {
+                    log.push(LogEntry::new(id, deps, true));
+                    i += 1;
+                } else {
+                    // Collect the whole interior run and rotate it.
+                    let mut run = Vec::new();
+                    while i < structure.len() && !structure[i].2 {
+                        run.push(structure[i].clone());
+                        i += 1;
+                    }
+                    let r = rot % run.len().max(1);
+                    run.rotate_left(r);
+                    for (id, deps, sync) in run {
+                        log.push(LogEntry::new(id, deps, sync));
+                    }
+                }
+            }
+            log
+        }).collect();
+        prop_assert!(check::stable_points_consistent(&member_logs).is_ok());
+        // And the detector flags exactly cycles+1 points on each.
+        for log in &member_logs {
+            let mut det = StablePointDetector::new();
+            let found: Vec<MsgId> = log
+                .iter()
+                .filter_map(|e| det.on_deliver(e.id, &e.deps, e.sync_candidate).map(|sp| sp.msg))
+                .collect();
+            prop_assert_eq!(found.len(), cycles + 1);
+        }
+    }
+}
+
+fn arb_msg_id() -> impl Strategy<Value = MsgId> {
+    (0u32..64, 1u64..1_000_000).prop_map(|(p, s)| MsgId::new(ProcessId::new(p), s))
+}
+
+proptest! {
+    /// Wire codec: graph envelopes round-trip for arbitrary ids, dep sets,
+    /// and string payloads.
+    #[test]
+    fn wire_graph_envelope_roundtrips(
+        id in arb_msg_id(),
+        deps in proptest::collection::vec(arb_msg_id(), 0..10),
+        payload in ".*",
+    ) {
+        let env = GraphEnvelope { id, deps, payload };
+        let mut buf = bytes::BytesMut::new();
+        wire::encode_graph_envelope(&env, &mut buf);
+        let mut bytes = buf.freeze();
+        let decoded: GraphEnvelope<String> = wire::decode_graph_envelope(&mut bytes).unwrap();
+        prop_assert_eq!(decoded, env);
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Wire codec: vt envelopes round-trip for arbitrary clocks.
+    #[test]
+    fn wire_vt_envelope_roundtrips(
+        id in arb_msg_id(),
+        entries in proptest::collection::vec(any::<u64>(), 0..32),
+        payload in any::<i64>(),
+    ) {
+        let env = VtEnvelope { id, vt: VectorClock::from_entries(entries), payload };
+        let mut buf = bytes::BytesMut::new();
+        wire::encode_vt_envelope(&env, &mut buf);
+        let mut bytes = buf.freeze();
+        let decoded: VtEnvelope<i64> = wire::decode_vt_envelope(&mut bytes).unwrap();
+        prop_assert_eq!(decoded, env);
+    }
+
+    /// Wire codec: decoding arbitrary junk never panics.
+    #[test]
+    fn wire_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = bytes::Bytes::from(junk);
+        let _: Result<GraphEnvelope<u64>, _> = wire::decode_graph_envelope(&mut bytes);
+        let mut bytes2 = bytes.clone();
+        let _: Result<VtEnvelope<u64>, _> = wire::decode_vt_envelope(&mut bytes2);
+    }
+}

@@ -1,0 +1,144 @@
+//! A timeout-based heartbeat failure detector.
+
+use causal_clocks::ProcessId;
+use std::collections::BTreeMap;
+
+/// A simple eventually-perfect failure detector: a process is *suspected*
+/// once no heartbeat has been observed from it for longer than the
+/// configured timeout.
+///
+/// The detector is sans-IO: the hosting node feeds it heartbeat
+/// observations (`observe`) and asks for suspects at its current local
+/// time. Time is an opaque `u64` (the simulator passes microseconds).
+///
+/// # Examples
+///
+/// ```
+/// use causal_clocks::ProcessId;
+/// use causal_membership::HeartbeatDetector;
+///
+/// let p1 = ProcessId::new(1);
+/// let mut fd = HeartbeatDetector::new(1_000);
+/// fd.observe(p1, 0);
+/// assert!(!fd.is_suspect(p1, 500));
+/// assert!(fd.is_suspect(p1, 1_500));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeartbeatDetector {
+    timeout: u64,
+    last_seen: BTreeMap<ProcessId, u64>,
+}
+
+impl HeartbeatDetector {
+    /// Creates a detector with the given suspicion timeout (same unit as
+    /// the observation timestamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn new(timeout: u64) -> Self {
+        assert!(timeout > 0, "failure-detector timeout must be positive");
+        HeartbeatDetector {
+            timeout,
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Records a heartbeat (or any message — all traffic proves liveness)
+    /// from `p` at local time `now`. Stale observations are ignored.
+    pub fn observe(&mut self, p: ProcessId, now: u64) {
+        let entry = self.last_seen.entry(p).or_insert(now);
+        *entry = (*entry).max(now);
+    }
+
+    /// Stops tracking `p` (e.g. after it leaves the view).
+    pub fn forget(&mut self, p: ProcessId) {
+        self.last_seen.remove(&p);
+    }
+
+    /// `true` if `p` is tracked and has been silent for more than the
+    /// timeout at local time `now`. Untracked processes are not suspected.
+    pub fn is_suspect(&self, p: ProcessId, now: u64) -> bool {
+        match self.last_seen.get(&p) {
+            Some(&seen) => now.saturating_sub(seen) > self.timeout,
+            None => false,
+        }
+    }
+
+    /// All tracked processes suspected at local time `now`.
+    pub fn suspects(&self, now: u64) -> Vec<ProcessId> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| now.saturating_sub(seen) > self.timeout)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fresh_process_not_suspected() {
+        let fd = HeartbeatDetector::new(100);
+        assert!(!fd.is_suspect(p(0), 1_000_000));
+        assert!(fd.suspects(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn suspicion_after_timeout() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.observe(p(0), 50);
+        assert!(!fd.is_suspect(p(0), 150)); // exactly at timeout: not yet
+        assert!(fd.is_suspect(p(0), 151));
+    }
+
+    #[test]
+    fn heartbeat_refreshes() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.observe(p(0), 0);
+        fd.observe(p(0), 200);
+        assert!(!fd.is_suspect(p(0), 250));
+    }
+
+    #[test]
+    fn stale_observation_ignored() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.observe(p(0), 200);
+        fd.observe(p(0), 50); // out-of-order observation
+        assert!(!fd.is_suspect(p(0), 250));
+    }
+
+    #[test]
+    fn suspects_lists_all_silent() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.observe(p(0), 0);
+        fd.observe(p(1), 500);
+        fd.observe(p(2), 0);
+        assert_eq!(fd.suspects(400), vec![p(0), p(2)]);
+    }
+
+    #[test]
+    fn forget_clears_tracking() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.observe(p(0), 0);
+        fd.forget(p(0));
+        assert!(!fd.is_suspect(p(0), 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_timeout_rejected() {
+        let _ = HeartbeatDetector::new(0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Process-group membership: views, failure detection, and flush.
+//!
+//! The paper assumes its entities are "organized as members of a group"
+//! (§3) with the group communication layer — ISIS-style — maintaining who
+//! belongs. This crate provides that substrate:
+//!
+//! - [`GroupView`]: a numbered snapshot of the membership.
+//! - [`HeartbeatDetector`]: a timeout-based failure detector fed by
+//!   heartbeat observations.
+//! - [`ViewManager`]: a coordinator-driven view-change state machine with a
+//!   **flush** round (members stop sending, push out unstable messages,
+//!   acknowledge) so that view changes are *virtually synchronous*: every
+//!   message is delivered in the view it was sent in.
+//!
+//! All components are sans-IO state machines: they consume observations and
+//! emit actions, and are driven by the simulator or by tests directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use causal_clocks::ProcessId;
+//! use causal_membership::GroupView;
+//!
+//! let view = GroupView::initial(3);
+//! assert_eq!(view.len(), 3);
+//! assert!(view.contains(ProcessId::new(2)));
+//! assert_eq!(view.coordinator(), ProcessId::new(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod manager;
+mod view;
+
+pub use detector::HeartbeatDetector;
+pub use manager::{FlushStatus, ManagerAction, ViewChangeError, ViewManager};
+pub use view::{GroupView, ViewId};

@@ -1,0 +1,497 @@
+//! The view-change (flush) state machine.
+//!
+//! Simplified virtual synchrony in the style of ISIS (Birman & Joseph
+//! 1987): the **coordinator** of the current view proposes the next view;
+//! every surviving member stops sending application messages, flushes its
+//! unstable messages, and acknowledges; once all survivors have
+//! acknowledged, the coordinator installs the new view everywhere. The
+//! flush barrier guarantees every application message is delivered in the
+//! view it was sent in.
+
+use crate::{GroupView, ViewId};
+use causal_clocks::ProcessId;
+use std::collections::BTreeSet;
+
+/// Whether the application layer may currently send group messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushStatus {
+    /// Normal operation: sends allowed.
+    Stable,
+    /// A view change is in progress: the application must not send until
+    /// the next view is installed.
+    Flushing,
+}
+
+/// An instruction emitted by the [`ViewManager`] for the hosting node to
+/// carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerAction {
+    /// Send a view proposal to each listed member.
+    SendPropose {
+        /// Recipients (survivors of the old view plus joiners).
+        to: Vec<ProcessId>,
+        /// The proposed view.
+        view: GroupView,
+    },
+    /// The local application must flush unstable messages, then call
+    /// [`ViewManager::flush_complete`].
+    BeginFlush {
+        /// The view being flushed for.
+        view: GroupView,
+    },
+    /// Send a flush acknowledgement to the coordinator.
+    SendFlushAck {
+        /// The coordinator of the *old* view.
+        to: ProcessId,
+        /// The proposed view being acknowledged.
+        view_id: ViewId,
+    },
+    /// Send the final install message to each listed member.
+    SendInstall {
+        /// Recipients.
+        to: Vec<ProcessId>,
+        /// The view to install.
+        view: GroupView,
+    },
+    /// The local node has installed this view; hand it to the application.
+    Installed(GroupView),
+}
+
+/// Per-node view-change state machine.
+///
+/// Sans-IO: each handler returns the [`ManagerAction`]s the hosting node
+/// must perform (sends over its transport, local flush work).
+///
+/// # Examples
+///
+/// A two-member group removing a crashed third member:
+///
+/// ```
+/// use causal_clocks::ProcessId;
+/// use causal_membership::{GroupView, ManagerAction, ViewManager};
+///
+/// let view = GroupView::initial(3);
+/// let mut coord = ViewManager::new(ProcessId::new(0), view.clone());
+/// let mut peer = ViewManager::new(ProcessId::new(1), view.clone());
+///
+/// // Coordinator decides p2 is gone and proposes the smaller view.
+/// let next = view.without(ProcessId::new(2));
+/// let actions = coord.propose(next.clone()).unwrap();
+/// assert!(matches!(actions[0], ManagerAction::BeginFlush { .. }));
+/// assert!(matches!(actions[1], ManagerAction::SendPropose { .. }));
+/// coord.flush_complete();
+///
+/// // p1 receives the proposal, flushes, acks; the coordinator installs.
+/// let _ = peer.on_propose(ProcessId::new(0), next.clone());
+/// let ack_actions = peer.flush_complete();
+/// assert!(matches!(ack_actions[0], ManagerAction::SendFlushAck { .. }));
+/// let install = coord.on_flush_ack(ProcessId::new(1), next.id());
+/// assert!(install.iter().any(|a| matches!(a, ManagerAction::Installed(_))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViewManager {
+    me: ProcessId,
+    current: GroupView,
+    pending: Option<GroupView>,
+    pending_proposer: Option<ProcessId>,
+    acks: BTreeSet<ProcessId>,
+    status: FlushStatus,
+}
+
+impl ViewManager {
+    /// Creates a manager for node `me` starting in `initial` view.
+    pub fn new(me: ProcessId, initial: GroupView) -> Self {
+        ViewManager {
+            me,
+            current: initial,
+            pending: None,
+            pending_proposer: None,
+            acks: BTreeSet::new(),
+            status: FlushStatus::Stable,
+        }
+    }
+
+    /// The currently installed view.
+    pub fn current(&self) -> &GroupView {
+        &self.current
+    }
+
+    /// The view being transitioned to, if a change is in progress.
+    pub fn pending(&self) -> Option<&GroupView> {
+        self.pending.as_ref()
+    }
+
+    /// Whether the application may send group messages right now.
+    pub fn status(&self) -> FlushStatus {
+        self.status
+    }
+
+    /// `true` if this node coordinates the current view.
+    pub fn is_coordinator(&self) -> bool {
+        self.current.coordinator() == self.me
+    }
+
+    /// Coordinator entry point: proposes `next` as the successor of the
+    /// current view.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if this node is not the coordinator, a change is
+    /// already in progress, or `next.id()` is not the successor of the
+    /// current view id.
+    pub fn propose(&mut self, next: GroupView) -> Result<Vec<ManagerAction>, ViewChangeError> {
+        if !self.is_coordinator() {
+            return Err(ViewChangeError::NotCoordinator);
+        }
+        self.start_proposal(next)
+    }
+
+    /// Coordinator-takeover entry point: this member may propose if every
+    /// member ranked *below* it in the current view is in `suspected` —
+    /// i.e. it is the lowest-id member still believed alive. With an
+    /// empty suspect set this reduces to [`propose`](Self::propose).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`propose`](Self::propose); `NotCoordinator` now means "a
+    /// lower-ranked member is still unsuspected".
+    pub fn propose_takeover(
+        &mut self,
+        next: GroupView,
+        suspected: &[ProcessId],
+    ) -> Result<Vec<ManagerAction>, ViewChangeError> {
+        let eligible = self
+            .current
+            .members()
+            .iter()
+            .take_while(|&&m| m != self.me)
+            .all(|m| suspected.contains(m));
+        if !self.current.contains(self.me) || !eligible {
+            return Err(ViewChangeError::NotCoordinator);
+        }
+        self.start_proposal(next)
+    }
+
+    fn start_proposal(&mut self, next: GroupView) -> Result<Vec<ManagerAction>, ViewChangeError> {
+        if self.pending.is_some() {
+            return Err(ViewChangeError::ChangeInProgress);
+        }
+        if next.id() != self.current.id().next() {
+            return Err(ViewChangeError::NonSuccessiveView {
+                current: self.current.id(),
+                proposed: next.id(),
+            });
+        }
+        self.pending = Some(next.clone());
+        self.pending_proposer = Some(self.me);
+        self.acks.clear();
+        self.status = FlushStatus::Flushing;
+        let others: Vec<_> = self
+            .survivors(&next)
+            .into_iter()
+            .filter(|&m| m != self.me)
+            .collect();
+        let mut actions = vec![ManagerAction::BeginFlush { view: next.clone() }];
+        if !others.is_empty() {
+            actions.push(ManagerAction::SendPropose {
+                to: others,
+                view: next,
+            });
+        }
+        Ok(actions)
+    }
+
+    /// Member handler for a proposal from `from` (the coordinator or a
+    /// takeover proposer). Stale or conflicting proposals are ignored
+    /// (empty action list); a **re-proposal** of the already-pending view
+    /// re-runs the flush so a lost acknowledgement is regenerated.
+    pub fn on_propose(&mut self, from: ProcessId, view: GroupView) -> Vec<ManagerAction> {
+        if self.pending.as_ref() == Some(&view) {
+            // Duplicate (the proposer may be retrying a lost message):
+            // flush again; flushing is idempotent and re-acks.
+            return vec![ManagerAction::BeginFlush { view }];
+        }
+        if view.id() != self.current.id().next() || self.pending.is_some() {
+            return Vec::new();
+        }
+        self.pending = Some(view.clone());
+        self.pending_proposer = Some(from);
+        self.status = FlushStatus::Flushing;
+        vec![ManagerAction::BeginFlush { view }]
+    }
+
+    /// The member that proposed the pending view, if a change is in
+    /// progress.
+    pub fn pending_proposer(&self) -> Option<ProcessId> {
+        self.pending_proposer
+    }
+
+    /// Called by the hosting node once its unstable messages are flushed.
+    /// At a member this emits the flush acknowledgement; at the
+    /// coordinator it records the self-ack (and may complete the change).
+    pub fn flush_complete(&mut self) -> Vec<ManagerAction> {
+        let Some(pending) = self.pending.clone() else {
+            return Vec::new();
+        };
+        let proposer = self
+            .pending_proposer
+            .unwrap_or_else(|| self.current.coordinator());
+        if proposer == self.me {
+            self.record_ack(self.me, &pending)
+        } else {
+            vec![ManagerAction::SendFlushAck {
+                to: proposer,
+                view_id: pending.id(),
+            }]
+        }
+    }
+
+    /// Coordinator handler for a member's flush acknowledgement. When every
+    /// survivor (including the coordinator itself) has acknowledged, emits
+    /// `SendInstall` plus a local `Installed`.
+    pub fn on_flush_ack(&mut self, from: ProcessId, view_id: ViewId) -> Vec<ManagerAction> {
+        let Some(pending) = self.pending.clone() else {
+            return Vec::new();
+        };
+        if pending.id() != view_id {
+            return Vec::new();
+        }
+        self.record_ack(from, &pending)
+    }
+
+    /// Member handler for the coordinator's install message.
+    pub fn on_install(&mut self, view: GroupView) -> Vec<ManagerAction> {
+        if view.id() <= self.current.id() {
+            return Vec::new();
+        }
+        self.current = view.clone();
+        self.pending = None;
+        self.pending_proposer = None;
+        self.acks.clear();
+        self.status = FlushStatus::Stable;
+        vec![ManagerAction::Installed(view)]
+    }
+
+    /// Survivors: members of the old view that remain in the new one (the
+    /// processes that must flush). The coordinator is included.
+    fn survivors(&self, next: &GroupView) -> Vec<ProcessId> {
+        self.current
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| next.contains(m))
+            .collect()
+    }
+
+    fn record_ack(&mut self, from: ProcessId, pending: &GroupView) -> Vec<ManagerAction> {
+        self.acks.insert(from);
+        let survivors = self.survivors(pending);
+        if !survivors.iter().all(|m| self.acks.contains(m)) {
+            return Vec::new();
+        }
+        // All survivors flushed: install everywhere.
+        let to: Vec<_> = pending
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != self.me)
+            .collect();
+        let view = pending.clone();
+        self.current = view.clone();
+        self.pending = None;
+        self.pending_proposer = None;
+        self.acks.clear();
+        self.status = FlushStatus::Stable;
+        let mut actions = Vec::new();
+        if !to.is_empty() {
+            actions.push(ManagerAction::SendInstall {
+                to,
+                view: view.clone(),
+            });
+        }
+        actions.push(ManagerAction::Installed(view));
+        actions
+    }
+}
+
+/// Why a view-change proposal was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewChangeError {
+    /// Only the coordinator of the current view may propose.
+    NotCoordinator,
+    /// A change is already being flushed.
+    ChangeInProgress,
+    /// The proposed view id does not directly succeed the current one.
+    NonSuccessiveView {
+        /// The installed view id.
+        current: ViewId,
+        /// The rejected proposal's id.
+        proposed: ViewId,
+    },
+}
+
+impl std::fmt::Display for ViewChangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewChangeError::NotCoordinator => write!(f, "only the view coordinator may propose"),
+            ViewChangeError::ChangeInProgress => write!(f, "a view change is already in progress"),
+            ViewChangeError::NonSuccessiveView { current, proposed } => write!(
+                f,
+                "proposed view {proposed} does not succeed current view {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ViewChangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn managers(n: usize) -> Vec<ViewManager> {
+        let view = GroupView::initial(n);
+        (0..n)
+            .map(|i| ViewManager::new(p(i as u32), view.clone()))
+            .collect()
+    }
+
+    /// Drives a full remove-member change through three managers by hand.
+    #[test]
+    fn full_view_change_removes_member() {
+        let mut ms = managers(3);
+        let next = ms[0].current().without(p(2));
+
+        let actions = ms[0].propose(next.clone()).unwrap();
+        assert_eq!(actions[0], ManagerAction::BeginFlush { view: next.clone() });
+        let ManagerAction::SendPropose { to, view } = &actions[1] else {
+            panic!("expected SendPropose");
+        };
+        assert_eq!(to, &vec![p(1)]); // p2 is being removed, not consulted
+        assert_eq!(ms[0].status(), FlushStatus::Flushing);
+
+        // Coordinator flushes locally; not yet complete (p1 outstanding).
+        assert!(ms[0].flush_complete().is_empty());
+
+        // p1 receives proposal, flushes, acks.
+        let member_actions = ms[1].on_propose(p(0), view.clone());
+        assert_eq!(member_actions.len(), 1);
+        let acks = ms[1].flush_complete();
+        assert_eq!(
+            acks,
+            vec![ManagerAction::SendFlushAck {
+                to: p(0),
+                view_id: next.id()
+            }]
+        );
+
+        // Coordinator receives the ack: installs.
+        let install = ms[0].on_flush_ack(p(1), next.id());
+        assert!(install.contains(&ManagerAction::Installed(next.clone())));
+        assert_eq!(ms[0].current(), &next);
+        assert_eq!(ms[0].status(), FlushStatus::Stable);
+
+        // p1 receives the install.
+        let done = ms[1].on_install(next.clone());
+        assert_eq!(done, vec![ManagerAction::Installed(next.clone())]);
+        assert_eq!(ms[1].current(), &next);
+    }
+
+    #[test]
+    fn join_adds_member() {
+        let mut ms = managers(2);
+        let next = ms[0].current().with(p(5));
+        let actions = ms[0].propose(next.clone()).unwrap();
+        // Proposals go to survivors only (p1); joiner learns via install.
+        let ManagerAction::SendPropose { to, .. } = &actions[1] else {
+            panic!("expected SendPropose");
+        };
+        assert_eq!(to, &vec![p(1)]);
+
+        ms[0].flush_complete();
+        ms[1].on_propose(p(0), next.clone());
+        ms[1].flush_complete();
+        let install = ms[0].on_flush_ack(p(1), next.id());
+        let ManagerAction::SendInstall { to, .. } = &install[0] else {
+            panic!("expected SendInstall");
+        };
+        assert_eq!(to, &vec![p(1), p(5)]); // joiner gets the install
+    }
+
+    #[test]
+    fn non_coordinator_cannot_propose() {
+        let mut ms = managers(2);
+        let next = ms[1].current().without(p(0));
+        assert_eq!(ms[1].propose(next), Err(ViewChangeError::NotCoordinator));
+    }
+
+    #[test]
+    fn concurrent_proposal_rejected() {
+        let mut ms = managers(3);
+        let next = ms[0].current().without(p(2));
+        ms[0].propose(next).unwrap();
+        let another = ms[0].current().without(p(1));
+        assert_eq!(
+            ms[0].propose(another),
+            Err(ViewChangeError::ChangeInProgress)
+        );
+    }
+
+    #[test]
+    fn skipping_view_ids_rejected() {
+        let mut ms = managers(2);
+        let skipped = GroupView::new(ViewId::initial().next().next(), [p(0), p(1)]);
+        assert!(matches!(
+            ms[0].propose(skipped),
+            Err(ViewChangeError::NonSuccessiveView { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_install_ignored() {
+        let mut ms = managers(2);
+        let stale = GroupView::new(ViewId::initial(), [p(0)]);
+        assert!(ms[1].on_install(stale).is_empty());
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut ms = managers(2);
+        assert!(ms[0]
+            .on_flush_ack(p(1), ViewId::initial().next())
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_proposal_reflushes_for_retry() {
+        let mut ms = managers(3);
+        let next = ms[0].current().without(p(2));
+        assert_eq!(ms[1].on_propose(p(0), next.clone()).len(), 1);
+        // A re-proposal of the same view re-runs the flush (ack retry)...
+        let retry = ms[1].on_propose(p(0), next.clone());
+        assert_eq!(
+            retry,
+            vec![ManagerAction::BeginFlush { view: next.clone() }]
+        );
+        // ...but a *conflicting* proposal for the same id is ignored.
+        let conflicting = ms[1].current().without(p(1));
+        assert!(ms[1].on_propose(p(0), conflicting).is_empty());
+        assert_eq!(ms[1].pending_proposer(), Some(p(0)));
+    }
+
+    #[test]
+    fn single_member_change_completes_immediately() {
+        // A coordinator alone (others removed) can change views by itself.
+        let view = GroupView::new(ViewId::initial(), [p(0), p(9)]);
+        let mut m = ViewManager::new(p(0), view.clone());
+        let next = view.without(p(9));
+        m.propose(next.clone()).unwrap();
+        let actions = m.flush_complete();
+        assert!(actions.contains(&ManagerAction::Installed(next.clone())));
+        assert_eq!(m.current(), &next);
+    }
+}

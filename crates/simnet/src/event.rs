@@ -1,0 +1,87 @@
+//! The internal event queue of the discrete-event engine.
+
+use crate::SimTime;
+use causal_clocks::ProcessId;
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<M> {
+    /// The network delivers `msg` from `from` to `to`.
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        sent_at: SimTime,
+    },
+    /// A timer armed by `node` fires with `tag`.
+    Timer { node: ProcessId, tag: u64 },
+}
+
+/// An event scheduled at `at`. `seq` breaks ties deterministically in
+/// scheduling order, giving the engine a stable total order of events.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduled<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    /// Earliest-first, ties broken by scheduling sequence. Combined with
+    /// `Reverse` this turns `BinaryHeap` into a min-heap over `(at, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            at: SimTime::from_micros(at),
+            seq,
+            kind: EventKind::Timer {
+                node: ProcessId::new(0),
+                tag: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        assert!(ev(1, 5) < ev(2, 0));
+        assert!(ev(1, 0) < ev(1, 1));
+        assert_eq!(ev(1, 1), ev(1, 1));
+    }
+
+    #[test]
+    fn min_heap_pops_chronologically() {
+        let mut heap = BinaryHeap::new();
+        for (at, seq) in [(5u64, 0u64), (1, 1), (5, 2), (3, 3)] {
+            heap.push(Reverse(ev(at, seq)));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.at.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (3, 3), (5, 0), (5, 2)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Network latency models.
+
+use crate::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A one-way message latency distribution.
+///
+/// All models are sampled from the simulation's seeded RNG, so runs are
+/// reproducible. The non-constant models naturally produce message
+/// **reordering** between messages in flight — the condition causal
+/// broadcast exists to mask.
+///
+/// # Examples
+///
+/// ```
+/// use causal_simnet::LatencyModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let lat = LatencyModel::uniform_micros(100, 200);
+/// let d = lat.sample(&mut rng);
+/// assert!((100..200).contains(&d.as_micros()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many microseconds.
+    Constant {
+        /// One-way latency in microseconds.
+        micros: u64,
+    },
+    /// Uniformly distributed in `[lo, hi)` microseconds.
+    Uniform {
+        /// Inclusive lower bound in microseconds.
+        lo: u64,
+        /// Exclusive upper bound in microseconds.
+        hi: u64,
+    },
+    /// `base + Exp(mean_extra)` microseconds — a long-tailed model typical
+    /// of shared links.
+    Exponential {
+        /// Fixed propagation delay in microseconds.
+        base: u64,
+        /// Mean of the additional exponential component in microseconds.
+        mean_extra: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant latency of `micros` microseconds.
+    pub const fn constant_micros(micros: u64) -> Self {
+        LatencyModel::Constant { micros }
+    }
+
+    /// A uniform latency in `[lo, hi)` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_micros(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "uniform latency requires lo < hi");
+        LatencyModel::Uniform { lo, hi }
+    }
+
+    /// A long-tailed latency: `base` plus an exponential with the given mean.
+    pub const fn exponential_micros(base: u64, mean_extra: u64) -> Self {
+        LatencyModel::Exponential { base, mean_extra }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let micros = match *self {
+            LatencyModel::Constant { micros } => micros,
+            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            LatencyModel::Exponential { base, mean_extra } => {
+                // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let extra = -(u.ln()) * mean_extra as f64;
+                base + extra.round() as u64
+            }
+        };
+        SimDuration::from_micros(micros)
+    }
+
+    /// The mean of the distribution, in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant { micros } => micros as f64,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::Exponential { base, mean_extra } => (base + mean_extra) as f64,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// A LAN-like default: uniform 200–800 µs one-way.
+    fn default() -> Self {
+        LatencyModel::Uniform { lo: 200, hi: 800 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = LatencyModel::constant_micros(123);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_micros(), 123);
+        }
+        assert_eq!(m.mean_micros(), 123.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::uniform_micros(50, 150);
+        for _ in 0..100 {
+            let v = m.sample(&mut rng).as_micros();
+            assert!((50..150).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_empty_range() {
+        let _ = LatencyModel::uniform_micros(10, 10);
+    }
+
+    #[test]
+    fn exponential_at_least_base() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::exponential_micros(100, 50);
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng).as_micros() >= 100);
+        }
+    }
+
+    #[test]
+    fn exponential_sample_mean_near_true_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::exponential_micros(0, 1000);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng).as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::default();
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

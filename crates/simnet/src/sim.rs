@@ -1,0 +1,614 @@
+//! The discrete-event simulation engine.
+
+use crate::actor::{Actor, Command, Context};
+use crate::event::{EventKind, Scheduled};
+use crate::{FaultPlan, LatencyModel, Metrics, Partition, SimDuration, SimTime, Trace, TraceEvent};
+use causal_clocks::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Network configuration: latency model, probabilistic faults, and
+/// scheduled partitions.
+///
+/// # Examples
+///
+/// ```
+/// use causal_simnet::{FaultPlan, LatencyModel, NetConfig};
+///
+/// let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 900))
+///     .faults(FaultPlan::new().with_drop_prob(0.01));
+/// assert!(!cfg.fault_plan().is_fault_free());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetConfig {
+    latency: LatencyModel,
+    faults: FaultPlan,
+    partitions: Vec<Partition>,
+    link_overrides: Vec<(ProcessId, ProcessId, LatencyModel)>,
+}
+
+impl NetConfig {
+    /// A fault-free network with the default (LAN-like) latency.
+    pub fn new() -> Self {
+        NetConfig::default()
+    }
+
+    /// A fault-free network with the given latency model.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        NetConfig {
+            latency,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Sets the probabilistic fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adds a scheduled partition.
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Overrides the latency model of one directed link (e.g. a slow or
+    /// remote member). Later overrides for the same pair win.
+    pub fn link_latency(mut self, from: ProcessId, to: ProcessId, model: LatencyModel) -> Self {
+        self.link_overrides.push((from, to, model));
+        self
+    }
+
+    /// The latency model in effect for a directed link.
+    pub fn latency_for(&self, from: ProcessId, to: ProcessId) -> &LatencyModel {
+        self.link_overrides
+            .iter()
+            .rev()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, m)| m)
+            .unwrap_or(&self.latency)
+    }
+
+    /// The default latency model in effect.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The fault plan in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    fn severed(&self, from: ProcessId, to: ProcessId, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(from, to, at))
+    }
+}
+
+/// A deterministic discrete-event simulation of a group of [`Actor`]s.
+///
+/// Events (message deliveries, timer firings) are processed in
+/// `(time, scheduling-sequence)` order, so two runs with the same actors,
+/// configuration, and seed produce identical histories.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct Simulation<A: Actor> {
+    nodes: Vec<A>,
+    queue: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
+    now: SimTime,
+    next_seq: u64,
+    rng: StdRng,
+    config: NetConfig,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    events_processed: u64,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `nodes` (node `i` gets identity `p_i`) and
+    /// runs every actor's [`Actor::on_start`] at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<A>, config: NetConfig, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "simulation requires at least one node");
+        let mut sim = Simulation {
+            nodes,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            metrics: Metrics::new(),
+            trace: None,
+            events_processed: 0,
+        };
+        for i in 0..sim.nodes.len() {
+            let me = ProcessId::new(i as u32);
+            let mut ctx = Context::new(me, sim.now, sim.nodes.len(), &mut sim.rng);
+            sim.nodes[i].on_start(&mut ctx);
+            let commands = ctx.take_commands();
+            sim.apply_commands(me, commands);
+        }
+        sim
+    }
+
+    /// Enables transport-event tracing (disabled by default; traces grow
+    /// with run length).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `false` — a simulation always has nodes. Provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shared view of all nodes.
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// Shared view of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn node(&self, p: ProcessId) -> &A {
+        &self.nodes[p.as_usize()]
+    }
+
+    /// Exclusive view of one node (e.g. to inject client requests between
+    /// [`step`](Self::step)s). Use [`poke`](Self::poke) when the mutation
+    /// needs to send messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn node_mut(&mut self, p: ProcessId) -> &mut A {
+        &mut self.nodes[p.as_usize()]
+    }
+
+    /// Run metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Exclusive access to the metrics (for percentile queries).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Calls `f` on node `p` with a live [`Context`] at the current time,
+    /// then applies the commands it issued. This is how external drivers
+    /// (workload generators, examples) inject requests mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn poke<F, R>(&mut self, p: ProcessId, f: F) -> R
+    where
+        F: FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R,
+    {
+        let mut ctx = Context::new(p, self.now, self.nodes.len(), &mut self.rng);
+        let out = f(&mut self.nodes[p.as_usize()], &mut ctx);
+        let commands = ctx.take_commands();
+        self.apply_commands(p, commands);
+        out
+    }
+
+    /// Processes the next scheduled event. Returns `false` when the queue
+    /// is empty (quiescence).
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                sent_at,
+            } => {
+                self.metrics.delivered += 1;
+                self.metrics
+                    .net_latency
+                    .record(self.now.saturating_since(sent_at));
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Delivered {
+                        at: self.now,
+                        from,
+                        to,
+                        sent_at,
+                    });
+                }
+                let mut ctx = Context::new(to, self.now, self.nodes.len(), &mut self.rng);
+                self.nodes[to.as_usize()].on_message(&mut ctx, from, msg);
+                let commands = ctx.take_commands();
+                self.apply_commands(to, commands);
+            }
+            EventKind::Timer { node, tag } => {
+                self.metrics.timers_fired += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::TimerFired {
+                        at: self.now,
+                        node,
+                        tag,
+                    });
+                }
+                let mut ctx = Context::new(node, self.now, self.nodes.len(), &mut self.rng);
+                self.nodes[node.as_usize()].on_timer(&mut ctx, tag);
+                let commands = ctx.take_commands();
+                self.apply_commands(node, commands);
+            }
+        }
+        true
+    }
+
+    /// Runs until no event is scheduled at or before `deadline`; the clock
+    /// ends at `deadline` or later only if an event lands exactly there.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue drains, returning the final time.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 50 million events as a runaway-protocol guard
+    /// (e.g. two actors ping-ponging forever).
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        const MAX_EVENTS: u64 = 50_000_000;
+        let start = self.events_processed;
+        while self.step() {
+            assert!(
+                self.events_processed - start < MAX_EVENTS,
+                "simulation did not quiesce within {MAX_EVENTS} events"
+            );
+        }
+        self.now
+    }
+
+    /// Consumes the simulation and returns the actors for inspection.
+    pub fn into_nodes(self) -> Vec<A> {
+        self.nodes
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind<A::Msg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn apply_commands(&mut self, me: ProcessId, commands: Vec<Command<A::Msg>>) {
+        for command in commands {
+            match command {
+                Command::Send { to, msg } => self.transmit(me, to, msg),
+                Command::SetTimer { delay, tag } => {
+                    self.schedule(self.now + delay, EventKind::Timer { node: me, tag });
+                }
+            }
+        }
+    }
+
+    /// Applies faults/partitions/latency to one transmission and schedules
+    /// the delivery (or drops it). Loopback sends bypass the network.
+    fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        self.metrics.sent += 1;
+        if from == to {
+            // Loopback: immediate, reliable.
+            self.schedule(
+                self.now,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    sent_at: self.now,
+                },
+            );
+            return;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Sent {
+                at: self.now,
+                from,
+                to,
+            });
+        }
+        let severed = self.config.severed(from, to, self.now);
+        let dropped = severed
+            || self
+                .rng
+                .gen_bool(self.config.faults.drop_prob().clamp(0.0, 1.0));
+        if dropped {
+            self.metrics.dropped += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to,
+                });
+            }
+            return;
+        }
+        let copies = if self
+            .rng
+            .gen_bool(self.config.faults.dup_prob().clamp(0.0, 1.0))
+        {
+            self.metrics.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let latency: SimDuration = self.config.latency_for(from, to).sample(&mut self.rng);
+            self.schedule(
+                self.now + latency,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    sent_at: self.now,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts deliveries; on start, node 0 broadcasts `rounds` batches.
+    struct Counter {
+        received: Vec<(ProcessId, u32)>,
+        send_on_start: u32,
+    }
+
+    impl Actor for Counter {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            for k in 0..self.send_on_start {
+                ctx.broadcast(k);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            self.received.push((from, msg));
+        }
+    }
+
+    fn counters(n: usize, send_on_start: u32) -> Vec<Counter> {
+        (0..n)
+            .map(|i| Counter {
+                received: Vec::new(),
+                send_on_start: if i == 0 { send_on_start } else { 0 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let mut sim = Simulation::new(counters(4, 1), NetConfig::new(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(ProcessId::new(0)).received.len(), 0);
+        for i in 1..4 {
+            assert_eq!(sim.node(ProcessId::new(i)).received.len(), 1);
+        }
+        assert_eq!(sim.metrics().sent, 3);
+        assert_eq!(sim.metrics().delivered, 3);
+    }
+
+    #[test]
+    fn constant_latency_is_exact() {
+        let cfg = NetConfig::with_latency(LatencyModel::constant_micros(777));
+        let mut sim = Simulation::new(counters(2, 1), cfg, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.now(), SimTime::from_micros(777));
+        assert_eq!(
+            sim.metrics_mut().net_latency.percentile(1.0).as_micros(),
+            777
+        );
+    }
+
+    #[test]
+    fn link_override_changes_one_direction_only() {
+        let cfg = NetConfig::with_latency(LatencyModel::constant_micros(100)).link_latency(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            LatencyModel::constant_micros(9000),
+        );
+        // p0 broadcasts to p1 and p2: p1's copy rides the slow link.
+        let mut sim = Simulation::new(counters(3, 1), cfg, 1);
+        sim.enable_trace();
+        sim.run_to_quiescence();
+        let deliveries: Vec<(ProcessId, u64)> = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Delivered { to, at, .. } => Some((*to, at.as_micros())),
+                _ => None,
+            })
+            .collect();
+        assert!(deliveries.contains(&(ProcessId::new(1), 9000)));
+        assert!(deliveries.contains(&(ProcessId::new(2), 100)));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(10, 1000));
+            let mut sim = Simulation::new(counters(3, 10), cfg, seed);
+            sim.enable_trace();
+            sim.run_to_quiescence();
+            sim.trace().unwrap().clone()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn drops_are_counted_and_not_delivered() {
+        let cfg = NetConfig::new().faults(FaultPlan::new().with_drop_prob(1.0));
+        let mut sim = Simulation::new(counters(2, 5), cfg, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().dropped, 5);
+        assert_eq!(sim.metrics().delivered, 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let cfg = NetConfig::new().faults(FaultPlan::new().with_dup_prob(1.0));
+        let mut sim = Simulation::new(counters(2, 3), cfg, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().duplicated, 3);
+        assert_eq!(sim.node(ProcessId::new(1)).received.len(), 6);
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic_then_heals() {
+        struct Periodic {
+            received: u32,
+        }
+        impl Actor for Periodic {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.me() == ProcessId::new(0) {
+                    ctx.set_timer(SimDuration::from_micros(100), 0);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: ProcessId, _msg: ()) {
+                self.received += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _tag: u64) {
+                ctx.broadcast(());
+                if ctx.now() < SimTime::from_micros(1000) {
+                    ctx.set_timer(SimDuration::from_micros(100), 0);
+                }
+            }
+        }
+        // Partition 0 from 1 during [0, 500µs): roughly half the periodic
+        // broadcasts are lost.
+        let cfg =
+            NetConfig::with_latency(LatencyModel::constant_micros(1)).partition(Partition::new(
+                [ProcessId::new(0)],
+                [ProcessId::new(1)],
+                SimTime::ZERO,
+                SimTime::from_micros(500),
+            ));
+        let nodes = vec![Periodic { received: 0 }, Periodic { received: 0 }];
+        let mut sim = Simulation::new(nodes, cfg, 1);
+        sim.run_to_quiescence();
+        // Broadcasts at 100..=1000 step 100: 10 sends; those at <500 dropped.
+        assert_eq!(sim.node(ProcessId::new(1)).received, 6);
+        assert_eq!(sim.metrics().dropped, 4);
+    }
+
+    #[test]
+    fn loopback_bypasses_faults() {
+        struct SelfSender {
+            got: bool,
+        }
+        impl Actor for SelfSender {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                let me = ctx.me();
+                ctx.send(me, ());
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: ProcessId, _msg: ()) {
+                self.got = true;
+            }
+        }
+        let cfg = NetConfig::new().faults(FaultPlan::new().with_drop_prob(1.0));
+        let mut sim = Simulation::new(vec![SelfSender { got: false }], cfg, 1);
+        sim.run_to_quiescence();
+        assert!(sim.node(ProcessId::new(0)).got);
+    }
+
+    #[test]
+    fn poke_injects_requests() {
+        let mut sim = Simulation::new(counters(2, 0), NetConfig::new(), 1);
+        sim.poke(ProcessId::new(0), |_node, ctx| ctx.broadcast(9));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.node(ProcessId::new(1)).received,
+            vec![(ProcessId::new(0), 9)]
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Simulation::new(counters(2, 0), NetConfig::new(), 1);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<u64>,
+        }
+        impl Actor for TimerActor {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::from_micros(30), 3);
+                ctx.set_timer(SimDuration::from_micros(10), 1);
+                ctx.set_timer(SimDuration::from_micros(20), 2);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: ProcessId, _: ()) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(vec![TimerActor { fired: vec![] }], NetConfig::new(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(ProcessId::new(0)).fired, vec![1, 2, 3]);
+        assert_eq!(sim.metrics().timers_fired, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_simulation_rejected() {
+        let _ = Simulation::<Counter>::new(vec![], NetConfig::new(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! A real-thread runtime for [`Actor`]s over crossbeam channels.
+//!
+//! The protocol crates are sans-IO: the same [`Actor`] that runs under the
+//! deterministic [`Simulation`](crate::Simulation) also runs here, on one OS
+//! thread per node with unbounded crossbeam channels as links. This runtime
+//! exists to demonstrate transport independence and to exercise the
+//! protocols under *real* (non-deterministic) interleavings in integration
+//! tests; quantitative experiments use the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use causal_clocks::ProcessId;
+//! use causal_simnet::threaded::run_threaded;
+//! use causal_simnet::{Actor, Context};
+//! use std::time::Duration;
+//!
+//! struct Greeter { greeted: usize }
+//! impl Actor for Greeter {
+//!     type Msg = u8;
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u8>) { ctx.broadcast(1); }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, u8>, _from: ProcessId, _m: u8) {
+//!         self.greeted += 1;
+//!     }
+//! }
+//!
+//! let nodes = vec![Greeter { greeted: 0 }, Greeter { greeted: 0 }];
+//! let done = run_threaded(nodes, Duration::from_millis(200), 7);
+//! assert!(done.iter().all(|n| n.greeted == 1));
+//! ```
+
+use crate::actor::{Actor, Command, Context};
+use crate::SimTime;
+use causal_clocks::ProcessId;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+type Link<M> = (ProcessId, M);
+
+/// Runs each actor on its own OS thread for (at least) `duration` of wall
+/// time, then joins the threads and returns the actors for inspection.
+///
+/// Message links are unbounded crossbeam channels (reliable, FIFO,
+/// unbounded latency jitter from the OS scheduler). Timers are serviced
+/// with millisecond-ish precision. `seed` derives each node's RNG, keeping
+/// actor-level randomness reproducible even though interleavings are not.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or if a node thread panics.
+pub fn run_threaded<A>(nodes: Vec<A>, duration: Duration, seed: u64) -> Vec<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    assert!(
+        !nodes.is_empty(),
+        "threaded runtime requires at least one node"
+    );
+    let n = nodes.len();
+    let mut senders: Vec<Sender<Link<A::Msg>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Link<A::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    let mut handles = Vec::with_capacity(n);
+    for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+        let me = ProcessId::new(i as u32);
+        let senders = senders.clone();
+        let handle = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            // Timer wheel: (deadline, insertion-order, tag).
+            let mut timers: BinaryHeap<Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
+            let mut timer_seq = 0u64;
+
+            let now_sim = |start: Instant| SimTime::from_micros(start.elapsed().as_micros() as u64);
+            let dispatch = |node: &mut A,
+                            rng: &mut StdRng,
+                            timers: &mut BinaryHeap<Reverse<(Instant, u64, u64)>>,
+                            timer_seq: &mut u64,
+                            event: Event<A::Msg>| {
+                let mut ctx = Context::new(me, now_sim(start), n, rng);
+                match event {
+                    Event::Start => node.on_start(&mut ctx),
+                    Event::Message(from, msg) => node.on_message(&mut ctx, from, msg),
+                    Event::Timer(tag) => node.on_timer(&mut ctx, tag),
+                }
+                for command in ctx.take_commands() {
+                    match command {
+                        Command::Send { to, msg } => {
+                            // Ignore send failures: the peer may already
+                            // have passed the deadline and hung up.
+                            let _ = senders[to.as_usize()].send((me, msg));
+                        }
+                        Command::SetTimer { delay, tag } => {
+                            let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
+                            timers.push(Reverse((fire_at, *timer_seq, tag)));
+                            *timer_seq += 1;
+                        }
+                    }
+                }
+            };
+
+            dispatch(
+                &mut node,
+                &mut rng,
+                &mut timers,
+                &mut timer_seq,
+                Event::Start,
+            );
+
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                // Fire due timers.
+                while let Some(Reverse((at, _, tag))) = timers.peek().copied() {
+                    if at <= Instant::now() {
+                        timers.pop();
+                        dispatch(
+                            &mut node,
+                            &mut rng,
+                            &mut timers,
+                            &mut timer_seq,
+                            Event::Timer(tag),
+                        );
+                    } else {
+                        break;
+                    }
+                }
+                let wait_until = timers
+                    .peek()
+                    .map(|Reverse((at, _, _))| (*at).min(deadline))
+                    .unwrap_or(deadline);
+                let timeout = wait_until.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok((from, msg)) => dispatch(
+                        &mut node,
+                        &mut rng,
+                        &mut timers,
+                        &mut timer_seq,
+                        Event::Message(from, msg),
+                    ),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            node
+        });
+        handles.push(handle);
+    }
+    drop(senders);
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect()
+}
+
+enum Event<M> {
+    Start,
+    Message(ProcessId, M),
+    Timer(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    struct PingPong {
+        bounces: u32,
+    }
+    impl Actor for PingPong {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.send(ProcessId::new(1), 6);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            self.bounces += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_over_threads() {
+        let nodes = vec![PingPong { bounces: 0 }, PingPong { bounces: 0 }];
+        let done = run_threaded(nodes, Duration::from_millis(300), 1);
+        // 6,5,4,3,2,1,0 -> 7 deliveries split across two nodes.
+        assert_eq!(done[0].bounces + done[1].bounces, 7);
+    }
+
+    struct TimerTicker {
+        fired: u32,
+    }
+    impl Actor for TimerTicker {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.set_timer(SimDuration::from_millis(5), 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, ()>, _: ProcessId, _: ()) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _tag: u64) {
+            self.fired += 1;
+            if self.fired < 3 {
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        let done = run_threaded(
+            vec![TimerTicker { fired: 0 }],
+            Duration::from_millis(300),
+            1,
+        );
+        assert_eq!(done[0].fired, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rejected() {
+        let _ = run_threaded(Vec::<PingPong>::new(), Duration::from_millis(1), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The distributed file service from the paper's introduction: a group of
+//! servers keeping file copies consistent through causally ordered update
+//! broadcasts.
+//!
+//! Log appends from different servers flow concurrently (they commute —
+//! §5.1's item decomposition); whole-file writes are synchronization
+//! messages, so every server's file system agrees at each write.
+//!
+//! ```sh
+//! cargo run --example file_service
+//! ```
+
+use causal_broadcast::prelude::*;
+use causal_broadcast::replica::fileservice::{append_tag, FileOp, FileServer};
+
+fn main() {
+    let p = ProcessId::new;
+    let servers = 4usize;
+
+    let nodes: Vec<CausalNode<FileServer>> = (0..servers)
+        .map(|i| CausalNode::new(p(i as u32), servers, FileServer::new()))
+        .collect();
+    let net = NetConfig::with_latency(LatencyModel::uniform_micros(300, 2500))
+        .faults(FaultPlan::new().with_drop_prob(0.1));
+    let mut sim = Simulation::new(nodes, net, 8);
+
+    // A client (via server p0) creates the service log.
+    let boot = sim.poke(p(0), |node, ctx| {
+        node.osend(
+            ctx,
+            FileOp::Write {
+                path: "service.log".into(),
+                content: "=== service started ===".into(),
+            },
+            OccursAfter::none(),
+        )
+    });
+    sim.run_to_quiescence();
+
+    // Every server appends entries concurrently — no cross-server order.
+    let mut appends = Vec::new();
+    for round in 0..2u64 {
+        for i in 0..servers as u32 {
+            let op = FileOp::Append {
+                path: "service.log".into(),
+                tag: append_tag(i, round + 1),
+                line: format!("server {i}, event {round}"),
+            };
+            appends.push(sim.poke(p(i), move |node, ctx| {
+                node.osend(ctx, op, OccursAfter::message(boot))
+            }));
+        }
+    }
+    sim.run_to_quiescence();
+
+    // A rotation write closes the epoch (AND over all appends).
+    sim.poke(p(0), |node, ctx| {
+        node.osend(
+            ctx,
+            FileOp::Write {
+                path: "service.log.1".into(),
+                content: "rotated".into(),
+            },
+            OccursAfter::all(appends.clone()),
+        )
+    });
+    sim.run_to_quiescence();
+
+    println!("{servers} file servers, 10% message loss\n");
+    let reference = sim.node(p(0)).app().fs().clone();
+    for i in 0..servers as u32 {
+        let node = sim.node(p(i));
+        assert_eq!(node.app().fs(), &reference, "server {i} diverged");
+        println!(
+            "server p{i}: {} ops applied, {} files, in agreement",
+            node.app().ops_applied(),
+            node.app().fs().files.len()
+        );
+    }
+    println!("\nservice.log at every server:");
+    println!("{}", sim.node(p(1)).app().read("service.log").unwrap());
+    println!(
+        "\n({} lost transmissions recovered; file copies identical everywhere)",
+        sim.metrics().dropped
+    );
+}

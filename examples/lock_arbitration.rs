@@ -1,0 +1,55 @@
+//! Decentralized lock arbitration (§6.2, Figure 5).
+//!
+//! Four members arbitrate access to a shared page for three cycles with
+//! no lock server: spontaneous `LOCK` requests are totally ordered by
+//! deterministic merge, every member computes the same holder sequence,
+//! and `TFR` messages circulate the lock.
+//!
+//! ```sh
+//! cargo run --example lock_arbitration
+//! ```
+
+use causal_broadcast::clocks::ProcessId;
+use causal_broadcast::core::node::CausalNode;
+use causal_broadcast::replica::lock::LockMember;
+use causal_broadcast::simnet::{FaultPlan, LatencyModel, NetConfig, Simulation};
+
+fn main() {
+    let p = ProcessId::new;
+    let members = 4usize;
+    let cycles = 3u64;
+
+    let nodes: Vec<CausalNode<LockMember>> = (0..members)
+        .map(|i| {
+            let id = p(i as u32);
+            CausalNode::new(id, members, LockMember::new(id, members, cycles))
+        })
+        .collect();
+    // A lossy network: the protocol still reaches consensus every cycle.
+    let net = NetConfig::with_latency(LatencyModel::uniform_micros(400, 2500))
+        .faults(FaultPlan::new().with_drop_prob(0.15));
+    let mut sim = Simulation::new(nodes, net, 2);
+    let end = sim.run_to_quiescence();
+
+    println!("{members} members, {cycles} arbitration cycles, 15% loss\n");
+    let reference = sim.node(p(0)).app().sequences().clone();
+    for (cycle, sequence) in &reference {
+        let holders: Vec<String> = sequence.iter().map(|m| m.to_string()).collect();
+        println!("cycle {cycle}: holder sequence {}", holders.join(" -> "));
+    }
+    for i in 0..members {
+        let app = sim.node(p(i as u32)).app();
+        assert_eq!(app.sequences(), &reference, "member {i} disagreed");
+        assert!(app.all_cycles_complete());
+        println!(
+            "member p{i}: acquisitions {:?} (cycle, position)",
+            app.acquisitions()
+        );
+    }
+    println!(
+        "\nconsensus without a lock server: every member computed the same \
+         holder sequence each cycle; finished at {end}, {} lost \
+         transmissions recovered.",
+        sim.metrics().dropped
+    );
+}

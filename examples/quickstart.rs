@@ -1,0 +1,75 @@
+//! Quickstart: a replicated integer shared by three entities.
+//!
+//! Demonstrates the whole model in one sitting:
+//!
+//! 1. entities broadcast data-access messages with `OSend` ordering
+//!    predicates (`Occurs-After`),
+//! 2. commutative increments flow concurrently,
+//! 3. a read closes the concurrent set (an AND dependency) and is answered
+//!    *identically at every replica* at the stable point it creates —
+//!    with no agreement protocol.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use causal_broadcast::clocks::ProcessId;
+use causal_broadcast::core::node::CausalNode;
+use causal_broadcast::core::osend::OccursAfter;
+use causal_broadcast::replica::counter::{CounterOp, CounterReplica};
+use causal_broadcast::simnet::{LatencyModel, NetConfig, Simulation};
+
+fn main() {
+    let p = ProcessId::new;
+    let group_size = 3;
+
+    // Three group members, each hosting a counter replica, connected by a
+    // simulated network with 0.2–2 ms one-way latency.
+    let nodes: Vec<CausalNode<CounterReplica>> = (0..group_size)
+        .map(|i| CausalNode::new(p(i as u32), group_size, CounterReplica::new()))
+        .collect();
+    let net = NetConfig::with_latency(LatencyModel::uniform_micros(200, 2000));
+    let mut sim = Simulation::new(nodes, net, /* seed */ 7);
+
+    // p0 initializes the shared integer. No ordering constraint — the
+    // paper's `Occurs-After(NULL)`.
+    let init = sim.poke(p(0), |node, ctx| {
+        node.osend(ctx, CounterOp::Set(100), OccursAfter::none())
+    });
+    sim.run_to_quiescence();
+
+    // p1 and p2 increment *concurrently*: both order themselves only after
+    // the initialization, not after each other.
+    let inc = sim.poke(p(1), |node, ctx| {
+        node.osend(ctx, CounterOp::Inc(7), OccursAfter::message(init))
+    });
+    let dec = sim.poke(p(2), |node, ctx| {
+        node.osend(ctx, CounterOp::Dec(3), OccursAfter::message(init))
+    });
+    sim.run_to_quiescence();
+
+    // The read must not be concurrent with inc/dec (the paper's service
+    // requirement): it occurs after BOTH — an AND dependency.
+    sim.poke(p(0), |node, ctx| {
+        node.osend(ctx, CounterOp::Read, OccursAfter::all([inc, dec]))
+    });
+    sim.run_to_quiescence();
+
+    println!("shared integer: Set(100) -> ||{{Inc(7), Dec(3)}} -> Read\n");
+    for i in 0..group_size {
+        let node = sim.node(p(i as u32));
+        let answer = node.app().read_answers()[0].1;
+        println!(
+            "replica p{i}: delivery order {:?}, read answered {answer}, \
+             stable points {}",
+            node.log().iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+            node.stats().stable_points,
+        );
+        assert_eq!(answer, 104);
+    }
+    println!(
+        "\nall replicas answered the read identically (104) without any \
+         agreement messages — the value was agreed at the stable point the \
+         read itself created."
+    );
+}

@@ -1,0 +1,193 @@
+//! Membership over the simulator: heartbeat failure detection feeding the
+//! coordinator's view-change (flush) protocol. A member crashes, the
+//! survivors install the smaller view virtually synchronously.
+
+use causal_broadcast::clocks::ProcessId;
+use causal_broadcast::membership::{
+    GroupView, HeartbeatDetector, ManagerAction, ViewId, ViewManager,
+};
+use causal_broadcast::simnet::{
+    Actor, Context, LatencyModel, NetConfig, SimDuration, SimTime, Simulation,
+};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    Heartbeat,
+    Propose(GroupView),
+    FlushAck(ViewId),
+    Install(GroupView),
+}
+
+const HEARTBEAT_EVERY: SimDuration = SimDuration::from_millis(1);
+const CHECK_EVERY: SimDuration = SimDuration::from_millis(2);
+const TIMER_HB: u64 = 1;
+const TIMER_CHECK: u64 = 2;
+
+struct Member {
+    manager: ViewManager,
+    detector: HeartbeatDetector,
+    /// Simulated crash time (stop sending/acking after this), if any.
+    crash_at: Option<SimTime>,
+    installed: Vec<GroupView>,
+}
+
+impl Member {
+    fn new(me: ProcessId, n: usize, crash_at: Option<SimTime>) -> Self {
+        Member {
+            manager: ViewManager::new(me, GroupView::initial(n)),
+            detector: HeartbeatDetector::new(5_000), // 5ms silence => suspect
+            crash_at,
+            installed: Vec::new(),
+        }
+    }
+
+    fn crashed(&self, now: SimTime) -> bool {
+        self.crash_at.is_some_and(|t| now >= t)
+    }
+
+    fn perform(&mut self, ctx: &mut Context<'_, Msg>, actions: Vec<ManagerAction>) {
+        for action in actions {
+            match action {
+                ManagerAction::BeginFlush { .. } => {
+                    // Flush is instantaneous here (no unstable app traffic).
+                    let done = self.manager.flush_complete();
+                    self.perform(ctx, done);
+                }
+                ManagerAction::SendPropose { to, view } => {
+                    for m in to {
+                        ctx.send(m, Msg::Propose(view.clone()));
+                    }
+                }
+                ManagerAction::SendFlushAck { to, view_id } => {
+                    ctx.send(to, Msg::FlushAck(view_id));
+                }
+                ManagerAction::SendInstall { to, view } => {
+                    for m in to {
+                        ctx.send(m, Msg::Install(view.clone()));
+                    }
+                }
+                ManagerAction::Installed(view) => self.installed.push(view),
+            }
+        }
+    }
+}
+
+impl Actor for Member {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(HEARTBEAT_EVERY, TIMER_HB);
+        if self.manager.is_coordinator() {
+            ctx.set_timer(CHECK_EVERY, TIMER_CHECK);
+        }
+        // Prime the detector so silence is measured from the start.
+        let now = ctx.now().as_micros();
+        for m in self.manager.current().members().to_vec() {
+            if m != ctx.me() {
+                self.detector.observe(m, now);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        if self.crashed(ctx.now()) {
+            return; // a crashed member is silent
+        }
+        self.detector.observe(from, ctx.now().as_micros());
+        match msg {
+            Msg::Heartbeat => {}
+            Msg::Propose(view) => {
+                let actions = self.manager.on_propose(from, view);
+                self.perform(ctx, actions);
+            }
+            Msg::FlushAck(view_id) => {
+                let actions = self.manager.on_flush_ack(from, view_id);
+                self.perform(ctx, actions);
+            }
+            Msg::Install(view) => {
+                let actions = self.manager.on_install(view);
+                self.perform(ctx, actions);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        if self.crashed(ctx.now()) {
+            return;
+        }
+        // Stop timers eventually so the simulation quiesces.
+        if ctx.now() > SimTime::from_millis(60) {
+            return;
+        }
+        match tag {
+            TIMER_HB => {
+                for m in self.manager.current().members().to_vec() {
+                    if m != ctx.me() {
+                        ctx.send(m, Msg::Heartbeat);
+                    }
+                }
+                ctx.set_timer(HEARTBEAT_EVERY, TIMER_HB);
+            }
+            TIMER_CHECK => {
+                if self.manager.is_coordinator() && self.manager.pending().is_none() {
+                    let suspects = self.detector.suspects(ctx.now().as_micros());
+                    if let Some(&dead) = suspects.first() {
+                        if self.manager.current().contains(dead) {
+                            let next = self.manager.current().without(dead);
+                            if let Ok(actions) = self.manager.propose(next) {
+                                self.perform(ctx, actions);
+                            }
+                        }
+                    }
+                }
+                ctx.set_timer(CHECK_EVERY, TIMER_CHECK);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn crashed_member_is_removed_from_the_view() {
+    let n = 4;
+    // p2 crashes at t = 10ms.
+    let nodes: Vec<Member> = (0..n as u32)
+        .map(|i| {
+            let crash = (i == 2).then(|| SimTime::from_millis(10));
+            Member::new(p(i), n, crash)
+        })
+        .collect();
+    let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 900));
+    let mut sim = Simulation::new(nodes, cfg, 4);
+    sim.run_to_quiescence();
+
+    let expected = GroupView::initial(n).without(p(2));
+    for i in [0u32, 1, 3] {
+        let member = sim.node(p(i));
+        assert_eq!(
+            member.manager.current(),
+            &expected,
+            "member {i} should have installed the shrunken view"
+        );
+        assert_eq!(member.installed.len(), 1);
+    }
+    // The crashed member never installed anything after its crash.
+    assert!(sim.node(p(2)).installed.is_empty());
+}
+
+#[test]
+fn stable_group_never_changes_view() {
+    let n = 3;
+    let nodes: Vec<Member> = (0..n as u32).map(|i| Member::new(p(i), n, None)).collect();
+    let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 900));
+    let mut sim = Simulation::new(nodes, cfg, 8);
+    sim.run_to_quiescence();
+    for i in 0..n as u32 {
+        assert_eq!(sim.node(p(i)).manager.current(), &GroupView::initial(n));
+        assert!(sim.node(p(i)).installed.is_empty());
+    }
+}
