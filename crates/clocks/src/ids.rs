@@ -1,6 +1,5 @@
 //! Identifiers for processes, messages, and groups.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an application entity (a process / group member).
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(p.as_usize(), 3);
 /// assert_eq!(p.to_string(), "p3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -84,7 +83,7 @@ impl From<u32> for ProcessId {
 /// assert_eq!(m.seq(), 7);
 /// assert_eq!(m.to_string(), "p1#7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId {
     origin: ProcessId,
     seq: u64,
@@ -121,7 +120,7 @@ impl fmt::Display for MsgId {
 /// use causal_clocks::GroupId;
 /// assert_eq!(GroupId::new(2).to_string(), "g2");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(u32);
 
 impl GroupId {

@@ -1,6 +1,5 @@
 //! Scalar (Lamport) logical clocks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A scalar logical clock (Lamport 1978).
@@ -22,9 +21,7 @@ use std::fmt;
 /// let at_receive = receiver.observe(stamp); // merge + tick on receive
 /// assert!(at_receive > stamp);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LamportClock(u64);
 
 impl LamportClock {

@@ -1,7 +1,6 @@
 //! Matrix clocks for message-stability detection.
 
 use crate::{ProcessId, VectorClock};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An `n × n` matrix clock: row `i` is the latest vector clock known to
@@ -26,7 +25,7 @@ use std::fmt;
 /// // Everyone has delivered at least 2 messages from p0 and 1 from p1.
 /// assert_eq!(m.stable_prefix().as_ref(), &[2, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatrixClock {
     rows: Vec<VectorClock>,
 }

@@ -1,6 +1,5 @@
 //! The four-valued outcome of comparing two vector timestamps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result of comparing two events under the causal partial order.
@@ -19,7 +18,7 @@ use std::fmt;
 /// let b = a.clone();
 /// assert_eq!(a.compare(&b), CausalOrdering::Equal);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CausalOrdering {
     /// The timestamps are identical.
     Equal,

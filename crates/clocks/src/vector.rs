@@ -1,7 +1,6 @@
 //! Vector clocks and the CBCAST causal-delivery condition.
 
 use crate::{CausalOrdering, ProcessId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fixed-width vector timestamp over a dense group `p0..pn`.
@@ -27,7 +26,7 @@ use std::fmt;
 /// observer.merge(&send);              // delivery at p1: [1,0,0]
 /// assert_eq!(send.compare(&observer), CausalOrdering::Equal);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct VectorClock {
     entries: Vec<u64>,
 }
@@ -37,7 +36,7 @@ pub struct VectorClock {
 /// Produced by [`VectorClock::delivery_check`]; the blocked variants say
 /// *why* a message must wait, which the delivery engines surface in their
 /// diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeliveryCheck {
     /// The message is the next expected from its sender and all of its other
     /// causal predecessors have been delivered: deliver now.

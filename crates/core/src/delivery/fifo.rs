@@ -1,11 +1,10 @@
 //! Per-sender FIFO delivery — a baseline weaker than causal order.
 
 use causal_clocks::{MsgId, ProcessId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// A message stamped with its per-sender sequence number only.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FifoEnvelope<P> {
     /// Unique message identity (`origin`, `seq`); `seq` is the FIFO index.
     pub id: MsgId,

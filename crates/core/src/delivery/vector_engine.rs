@@ -1,10 +1,9 @@
 //! Vector-clock causal delivery (ISIS CBCAST-style).
 
 use causal_clocks::{DeliveryCheck, MsgId, ProcessId, VectorClock};
-use serde::{Deserialize, Serialize};
 
 /// A broadcast message stamped with its sender's vector clock at send time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VtEnvelope<P> {
     /// Unique message identity.
     pub id: MsgId,

@@ -15,7 +15,6 @@
 //! difference.
 
 use causal_clocks::{MsgId, ProcessId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The ordering predicate of an `OSend`: the set of messages the new
@@ -34,7 +33,7 @@ use std::fmt;
 /// assert_eq!(OccursAfter::message(m1).deps(), &[m1]);
 /// assert_eq!(OccursAfter::all([m2, m1, m1]).deps(), &[m1, m2]); // sorted, deduped
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct OccursAfter {
     deps: Vec<MsgId>,
 }
@@ -108,7 +107,7 @@ impl FromIterator<MsgId> for OccursAfter {
 /// The envelope *is* the wire representation used by the delivery engines:
 /// a member may process `payload` only after every id in `deps` has been
 /// processed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphEnvelope<P> {
     /// Unique message identity (origin + per-origin sequence).
     pub id: MsgId,

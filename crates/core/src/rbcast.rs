@@ -10,7 +10,6 @@
 //! copy and absorb duplicates.
 
 use causal_clocks::{MsgId, ProcessId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Envelope types that carry a unique message identity (implemented by
@@ -33,7 +32,7 @@ impl<P> HasMsgId for crate::delivery::VtEnvelope<P> {
 }
 
 /// Wire messages of the reliability layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RbMsg<E> {
     /// An application envelope (original transmission or retransmission).
     Data(E),

@@ -31,11 +31,10 @@
 //! [`check`](crate::check) validators detect such mis-specifications.
 
 use causal_clocks::MsgId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A detected stable point in a member's delivery stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StablePoint {
     /// The synchronization message that produced the point.
     pub msg: MsgId,
@@ -49,7 +48,7 @@ pub struct StablePoint {
 /// the [`check`](crate::check) validators: the message, its direct
 /// dependencies, and whether it is a synchronization candidate
 /// (non-commutative).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
     /// The delivered message.
     pub id: MsgId,
@@ -155,7 +154,7 @@ impl StablePointDetector {
 
 /// One **causal activity** (§4.1): the span between two successive
 /// synchronization messages, containing the messages processed in between.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CausalActivity {
     /// The sync message opening the activity (`None` for the first
     /// activity of the computation).

@@ -13,12 +13,11 @@
 use crate::osend::GraphEnvelope;
 use crate::stable::{StablePoint, StablePointDetector};
 use causal_clocks::MsgId;
-use serde::{Deserialize, Serialize};
 
 /// The paper's two operation categories (§6): commutative operations may
 /// remain concurrent; non-commutative operations are ordered and act as
 /// synchronization candidates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// May be processed in any order relative to other commutative
     /// operations (the paper's `rqst_c`).

@@ -9,17 +9,23 @@
 //! - measuring **ordering metadata overhead** in bytes (an `OccursAfter`
 //!   set vs. a vector timestamp vs. nothing) — reported by the ablation
 //!   benches;
-//! - a realistic path for the [`threaded`](causal_simnet::threaded)
-//!   runtime or any future socket transport;
+//! - the real-socket path: [`causal-net`'s] TCP transport frames every
+//!   message with a [`FrameHeader`] and encodes the full
+//!   [`GroupWire`]/[`RbMsg`]/[`Timed`] stack through [`WireEncode`];
 //! - round-trip property tests that pin the format.
 //!
+//! [`causal-net`'s]: https://example.org/causal-broadcast
+//!
 //! Format: little-endian, length-prefixed. No varints — simplicity and
-//! determinism over byte-shaving.
+//! determinism over byte-shaving. Decoding reads from the front of a
+//! `&[u8]` and advances it, so consumers can concatenate structures.
 
 use crate::delivery::VtEnvelope;
+use crate::node::{GroupWire, Timed};
 use crate::osend::GraphEnvelope;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::rbcast::RbMsg;
 use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_simnet::SimTime;
 use std::fmt;
 
 /// A decoding failure.
@@ -32,6 +38,11 @@ pub enum DecodeError {
         /// The length read from the wire.
         got: u64,
     },
+    /// An enum discriminant byte has no corresponding variant.
+    InvalidTag {
+        /// The tag read from the wire.
+        got: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -41,54 +52,157 @@ impl fmt::Display for DecodeError {
             DecodeError::LengthOutOfRange { got } => {
                 write!(f, "length prefix {got} out of range")
             }
+            DecodeError::InvalidTag { got } => write!(f, "invalid enum tag {got}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Payloads that know how to put themselves on the wire.
+/// Types that know how to put themselves on the wire.
 ///
-/// Implemented here for the common primitive payloads; applications with
-/// richer operations implement it for their op enums.
-pub trait WirePayload: Sized {
-    /// Appends the encoded payload.
-    fn encode(&self, buf: &mut BytesMut);
-    /// Decodes a payload from the front of `buf`.
+/// Implemented here for the protocol envelopes and common primitive
+/// payloads; applications with richer operations implement it for their
+/// op enums (see `CounterOp` in `causal-replica`).
+pub trait WireEncode: Sized {
+    /// Appends the encoded value to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `input`, advancing it past the
+    /// consumed bytes.
     ///
     /// # Errors
     ///
     /// [`DecodeError`] if the buffer is truncated or malformed.
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError>;
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must consume the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation, malformed data, or trailing bytes
+    /// (reported as [`DecodeError::LengthOutOfRange`] carrying the number
+    /// left over).
+    fn from_wire(mut input: &[u8]) -> Result<Self, DecodeError> {
+        let v = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(DecodeError::LengthOutOfRange {
+                got: input.len() as u64,
+            })
+        }
+    }
 }
 
 const MAX_LEN: u64 = 1 << 24; // 16M elements: simulation-scale sanity bound
 
-fn ensure(buf: &Bytes, needed: usize) -> Result<(), DecodeError> {
-    if buf.remaining() < needed {
-        Err(DecodeError::UnexpectedEnd)
-    } else {
-        Ok(())
+/// The largest frame body the transport will produce or accept, in bytes.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::UnexpectedEnd);
     }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
 }
 
-fn put_len(buf: &mut BytesMut, len: usize) {
-    buf.put_u32_le(len as u32);
+/// Reads a little-endian `u32` from the front of `input`.
+///
+/// # Errors
+///
+/// [`DecodeError::UnexpectedEnd`] on a truncated buffer.
+pub fn get_u32_le(input: &mut &[u8]) -> Result<u32, DecodeError> {
+    let b = take(input, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
-fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
-    ensure(buf, 4)?;
-    let len = buf.get_u32_le() as u64;
+/// Reads a little-endian `u64` from the front of `input`.
+///
+/// # Errors
+///
+/// [`DecodeError::UnexpectedEnd`] on a truncated buffer.
+pub fn get_u64_le(input: &mut &[u8]) -> Result<u64, DecodeError> {
+    let b = take(input, 8)?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+fn get_u8(input: &mut &[u8]) -> Result<u8, DecodeError> {
+    Ok(take(input, 1)?[0])
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+fn get_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
+    let len = get_u32_le(input)? as u64;
     if len > MAX_LEN {
         return Err(DecodeError::LengthOutOfRange { got: len });
     }
     Ok(len as usize)
 }
 
-/// Encodes a [`MsgId`] (8 bytes origin+seq packed: 4 + 8 = 12 bytes).
-pub fn encode_msg_id(id: MsgId, buf: &mut BytesMut) {
-    buf.put_u32_le(id.origin().as_u32());
-    buf.put_u64_le(id.seq());
+/// The length-prefix header framing every message on a stream transport.
+///
+/// A frame is `header ‖ body`, where the header is the body length as a
+/// little-endian `u32`. Lengths above [`MAX_FRAME_LEN`] are rejected at
+/// decode time — a desynchronized or hostile peer cannot make a receiver
+/// allocate unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Body length in bytes.
+    pub len: u32,
+}
+
+impl FrameHeader {
+    /// Encoded size of the header itself.
+    pub const ENCODED_LEN: usize = 4;
+
+    /// Header for a body of `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_FRAME_LEN`] — senders must split or
+    /// reject oversized bodies before framing.
+    pub fn for_body_len(len: usize) -> Self {
+        assert!(
+            len as u64 <= MAX_FRAME_LEN as u64,
+            "frame body of {len} bytes exceeds MAX_FRAME_LEN"
+        );
+        FrameHeader { len: len as u32 }
+    }
+}
+
+impl WireEncode for FrameHeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.len.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = get_u32_le(input)?;
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::LengthOutOfRange { got: len as u64 });
+        }
+        Ok(FrameHeader { len })
+    }
+}
+
+/// Encodes a [`MsgId`] (origin + seq packed: 4 + 8 = 12 bytes).
+pub fn encode_msg_id(id: MsgId, out: &mut Vec<u8>) {
+    out.extend_from_slice(&id.origin().as_u32().to_le_bytes());
+    out.extend_from_slice(&id.seq().to_le_bytes());
 }
 
 /// Decodes a [`MsgId`].
@@ -96,18 +210,17 @@ pub fn encode_msg_id(id: MsgId, buf: &mut BytesMut) {
 /// # Errors
 ///
 /// [`DecodeError::UnexpectedEnd`] on a truncated buffer.
-pub fn decode_msg_id(buf: &mut Bytes) -> Result<MsgId, DecodeError> {
-    ensure(buf, 12)?;
-    let origin = ProcessId::new(buf.get_u32_le());
-    let seq = buf.get_u64_le();
+pub fn decode_msg_id(input: &mut &[u8]) -> Result<MsgId, DecodeError> {
+    let origin = ProcessId::new(get_u32_le(input)?);
+    let seq = get_u64_le(input)?;
     Ok(MsgId::new(origin, seq))
 }
 
 /// Encodes a [`VectorClock`] (length-prefixed entries).
-pub fn encode_vector_clock(vt: &VectorClock, buf: &mut BytesMut) {
-    put_len(buf, vt.width());
+pub fn encode_vector_clock(vt: &VectorClock, out: &mut Vec<u8>) {
+    put_len(out, vt.width());
     for (_, v) in vt.iter() {
-        buf.put_u64_le(v);
+        out.extend_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -116,20 +229,22 @@ pub fn encode_vector_clock(vt: &VectorClock, buf: &mut BytesMut) {
 /// # Errors
 ///
 /// [`DecodeError`] on truncation or an absurd width.
-pub fn decode_vector_clock(buf: &mut Bytes) -> Result<VectorClock, DecodeError> {
-    let width = get_len(buf)?;
-    ensure(buf, width * 8)?;
-    Ok((0..width).map(|_| buf.get_u64_le()).collect())
+pub fn decode_vector_clock(input: &mut &[u8]) -> Result<VectorClock, DecodeError> {
+    let width = get_len(input)?;
+    if input.len() < width.saturating_mul(8) {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    (0..width).map(|_| get_u64_le(input)).collect()
 }
 
 /// Encodes a [`GraphEnvelope`]: id, dependency set, payload.
-pub fn encode_graph_envelope<P: WirePayload>(env: &GraphEnvelope<P>, buf: &mut BytesMut) {
-    encode_msg_id(env.id, buf);
-    put_len(buf, env.deps.len());
+pub fn encode_graph_envelope<P: WireEncode>(env: &GraphEnvelope<P>, out: &mut Vec<u8>) {
+    encode_msg_id(env.id, out);
+    put_len(out, env.deps.len());
     for &d in &env.deps {
-        encode_msg_id(d, buf);
+        encode_msg_id(d, out);
     }
-    env.payload.encode(buf);
+    env.payload.encode(out);
 }
 
 /// Decodes a [`GraphEnvelope`].
@@ -137,24 +252,24 @@ pub fn encode_graph_envelope<P: WirePayload>(env: &GraphEnvelope<P>, buf: &mut B
 /// # Errors
 ///
 /// [`DecodeError`] on truncation or malformed lengths.
-pub fn decode_graph_envelope<P: WirePayload>(
-    buf: &mut Bytes,
+pub fn decode_graph_envelope<P: WireEncode>(
+    input: &mut &[u8],
 ) -> Result<GraphEnvelope<P>, DecodeError> {
-    let id = decode_msg_id(buf)?;
-    let n = get_len(buf)?;
+    let id = decode_msg_id(input)?;
+    let n = get_len(input)?;
     let mut deps = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
-        deps.push(decode_msg_id(buf)?);
+        deps.push(decode_msg_id(input)?);
     }
-    let payload = P::decode(buf)?;
+    let payload = P::decode(input)?;
     Ok(GraphEnvelope { id, deps, payload })
 }
 
 /// Encodes a [`VtEnvelope`]: id, vector timestamp, payload.
-pub fn encode_vt_envelope<P: WirePayload>(env: &VtEnvelope<P>, buf: &mut BytesMut) {
-    encode_msg_id(env.id, buf);
-    encode_vector_clock(&env.vt, buf);
-    env.payload.encode(buf);
+pub fn encode_vt_envelope<P: WireEncode>(env: &VtEnvelope<P>, out: &mut Vec<u8>) {
+    encode_msg_id(env.id, out);
+    encode_vector_clock(&env.vt, out);
+    env.payload.encode(out);
 }
 
 /// Decodes a [`VtEnvelope`].
@@ -162,10 +277,10 @@ pub fn encode_vt_envelope<P: WirePayload>(env: &VtEnvelope<P>, buf: &mut BytesMu
 /// # Errors
 ///
 /// [`DecodeError`] on truncation or malformed lengths.
-pub fn decode_vt_envelope<P: WirePayload>(buf: &mut Bytes) -> Result<VtEnvelope<P>, DecodeError> {
-    let id = decode_msg_id(buf)?;
-    let vt = decode_vector_clock(buf)?;
-    let payload = P::decode(buf)?;
+pub fn decode_vt_envelope<P: WireEncode>(input: &mut &[u8]) -> Result<VtEnvelope<P>, DecodeError> {
+    let id = decode_msg_id(input)?;
+    let vt = decode_vector_clock(input)?;
+    let payload = P::decode(input)?;
     Ok(VtEnvelope { id, vt, payload })
 }
 
@@ -181,43 +296,147 @@ pub fn vt_overhead_bytes(n: usize) -> usize {
     12 + 4 + 8 * n
 }
 
-impl WirePayload for u64 {
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u64_le(*self);
+impl WireEncode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        ensure(buf, 8)?;
-        Ok(buf.get_u64_le())
-    }
-}
-
-impl WirePayload for i64 {
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_i64_le(*self);
-    }
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        ensure(buf, 8)?;
-        Ok(buf.get_i64_le())
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        get_u64_le(input)
     }
 }
 
-impl WirePayload for String {
-    fn encode(&self, buf: &mut BytesMut) {
-        put_len(buf, self.len());
-        buf.put_slice(self.as_bytes());
+impl WireEncode for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        let len = get_len(buf)?;
-        ensure(buf, len)?;
-        let bytes = buf.split_to(len);
-        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(get_u64_le(input)? as i64)
     }
 }
 
-impl WirePayload for () {
-    fn encode(&self, _buf: &mut BytesMut) {}
-    fn decode(_buf: &mut Bytes) -> Result<Self, DecodeError> {
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_len(out, self.len());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = get_len(input)?;
+        let bytes = take(input, len)?;
+        Ok(String::from_utf8_lossy(bytes).into_owned())
+    }
+}
+
+impl WireEncode for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(())
+    }
+}
+
+impl WireEncode for MsgId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_msg_id(*self, out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        decode_msg_id(input)
+    }
+}
+
+impl WireEncode for VectorClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_vector_clock(self, out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        decode_vector_clock(input)
+    }
+}
+
+impl WireEncode for SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.as_micros().to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(SimTime::from_micros(get_u64_le(input)?))
+    }
+}
+
+impl<P: WireEncode> WireEncode for GraphEnvelope<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_graph_envelope(self, out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        decode_graph_envelope(input)
+    }
+}
+
+impl<P: WireEncode> WireEncode for VtEnvelope<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_vt_envelope(self, out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        decode_vt_envelope(input)
+    }
+}
+
+impl<E: WireEncode> WireEncode for Timed<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.env.encode(out);
+        self.sent_at.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let env = E::decode(input)?;
+        let sent_at = SimTime::decode(input)?;
+        Ok(Timed { env, sent_at })
+    }
+}
+
+const TAG_RB_DATA: u8 = 0;
+const TAG_RB_ACK: u8 = 1;
+
+impl<E: WireEncode> WireEncode for RbMsg<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RbMsg::Data(env) => {
+                out.push(TAG_RB_DATA);
+                env.encode(out);
+            }
+            RbMsg::Ack(id) => {
+                out.push(TAG_RB_ACK);
+                encode_msg_id(*id, out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match get_u8(input)? {
+            TAG_RB_DATA => Ok(RbMsg::Data(E::decode(input)?)),
+            TAG_RB_ACK => Ok(RbMsg::Ack(decode_msg_id(input)?)),
+            got => Err(DecodeError::InvalidTag { got }),
+        }
+    }
+}
+
+const TAG_GW_RB: u8 = 0;
+const TAG_GW_STABILITY: u8 = 1;
+
+impl<E: WireEncode> WireEncode for GroupWire<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GroupWire::Rb(msg) => {
+                out.push(TAG_GW_RB);
+                msg.encode(out);
+            }
+            GroupWire::StabilityReport(vt) => {
+                out.push(TAG_GW_STABILITY);
+                encode_vector_clock(vt, out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match get_u8(input)? {
+            TAG_GW_RB => Ok(GroupWire::Rb(RbMsg::decode(input)?)),
+            TAG_GW_STABILITY => Ok(GroupWire::StabilityReport(decode_vector_clock(input)?)),
+            got => Err(DecodeError::InvalidTag { got }),
+        }
     }
 }
 
@@ -226,34 +445,28 @@ mod tests {
     use super::*;
     use crate::osend::{OSender, OccursAfter};
 
-    fn roundtrip_graph<P: WirePayload + Clone + PartialEq + std::fmt::Debug>(
+    fn roundtrip_graph<P: WireEncode + Clone + PartialEq + std::fmt::Debug>(
         env: &GraphEnvelope<P>,
     ) {
-        let mut buf = BytesMut::new();
-        encode_graph_envelope(env, &mut buf);
-        let mut bytes = buf.freeze();
-        let decoded: GraphEnvelope<P> = decode_graph_envelope(&mut bytes).unwrap();
+        let buf = env.to_wire();
+        let mut input = buf.as_slice();
+        let decoded: GraphEnvelope<P> = decode_graph_envelope(&mut input).unwrap();
         assert_eq!(&decoded, env);
-        assert!(bytes.is_empty(), "trailing bytes");
+        assert!(input.is_empty(), "trailing bytes");
     }
 
     #[test]
     fn msg_id_roundtrip() {
         let id = MsgId::new(ProcessId::new(42), 123456789);
-        let mut buf = BytesMut::new();
-        encode_msg_id(id, &mut buf);
+        let buf = id.to_wire();
         assert_eq!(buf.len(), 12);
-        let mut bytes = buf.freeze();
-        assert_eq!(decode_msg_id(&mut bytes).unwrap(), id);
+        assert_eq!(MsgId::from_wire(&buf).unwrap(), id);
     }
 
     #[test]
     fn vector_clock_roundtrip() {
         let vt = VectorClock::from_entries([0, 5, u64::MAX, 3]);
-        let mut buf = BytesMut::new();
-        encode_vector_clock(&vt, &mut buf);
-        let mut bytes = buf.freeze();
-        assert_eq!(decode_vector_clock(&mut bytes).unwrap(), vt);
+        assert_eq!(VectorClock::from_wire(&vt.to_wire()).unwrap(), vt);
     }
 
     #[test]
@@ -278,10 +491,7 @@ mod tests {
             vt: VectorClock::from_entries([1, 0, 2]),
             payload: -5i64,
         };
-        let mut buf = BytesMut::new();
-        encode_vt_envelope(&env, &mut buf);
-        let mut bytes = buf.freeze();
-        let decoded: VtEnvelope<i64> = decode_vt_envelope(&mut bytes).unwrap();
+        let decoded: VtEnvelope<i64> = VtEnvelope::from_wire(&env.to_wire()).unwrap();
         assert_eq!(decoded, env);
     }
 
@@ -289,11 +499,9 @@ mod tests {
     fn truncated_buffers_error() {
         let mut tx = OSender::new(ProcessId::new(0));
         let env = tx.osend(1u64, OccursAfter::none());
-        let mut buf = BytesMut::new();
-        encode_graph_envelope(&env, &mut buf);
-        let full = buf.freeze();
+        let full = env.to_wire();
         for cut in 0..full.len() {
-            let mut trunc = full.slice(0..cut);
+            let mut trunc = &full[..cut];
             let out: Result<GraphEnvelope<u64>, _> = decode_graph_envelope(&mut trunc);
             assert_eq!(out, Err(DecodeError::UnexpectedEnd), "cut at {cut}");
         }
@@ -301,11 +509,11 @@ mod tests {
 
     #[test]
     fn absurd_length_rejected() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         encode_msg_id(MsgId::new(ProcessId::new(0), 1), &mut buf);
-        buf.put_u32_le(u32::MAX); // deps length prefix
-        let mut bytes = buf.freeze();
-        let out: Result<GraphEnvelope<u64>, _> = decode_graph_envelope(&mut bytes);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // deps length prefix
+        let mut input = buf.as_slice();
+        let out: Result<GraphEnvelope<u64>, _> = decode_graph_envelope(&mut input);
         assert!(matches!(out, Err(DecodeError::LengthOutOfRange { .. })));
     }
 
@@ -314,18 +522,14 @@ mod tests {
         let mut tx = OSender::new(ProcessId::new(0));
         let a = tx.osend((), OccursAfter::none());
         let b = tx.osend((), OccursAfter::message(a.id));
-        let mut buf = BytesMut::new();
-        encode_graph_envelope(&b, &mut buf);
-        assert_eq!(buf.len(), graph_overhead_bytes(1));
+        assert_eq!(b.to_wire().len(), graph_overhead_bytes(1));
 
         let env = VtEnvelope {
             id: MsgId::new(ProcessId::new(0), 1),
             vt: VectorClock::new(8),
             payload: (),
         };
-        let mut buf = BytesMut::new();
-        encode_vt_envelope(&env, &mut buf);
-        assert_eq!(buf.len(), vt_overhead_bytes(8));
+        assert_eq!(env.to_wire().len(), vt_overhead_bytes(8));
     }
 
     #[test]
@@ -336,5 +540,48 @@ mod tests {
         assert_eq!(graph_overhead_bytes(1), graph_overhead_bytes(1));
         assert!(vt_overhead_bytes(64) > vt_overhead_bytes(4));
         assert!(graph_overhead_bytes(1) < vt_overhead_bytes(64));
+    }
+
+    #[test]
+    fn frame_header_roundtrip_and_bounds() {
+        let h = FrameHeader::for_body_len(4096);
+        let buf = h.to_wire();
+        assert_eq!(buf.len(), FrameHeader::ENCODED_LEN);
+        assert_eq!(FrameHeader::from_wire(&buf).unwrap(), h);
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut input = oversized.as_slice();
+        assert!(matches!(
+            FrameHeader::decode(&mut input),
+            Err(DecodeError::LengthOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn group_wire_roundtrips() {
+        let mut tx = OSender::new(ProcessId::new(3));
+        let env = tx.osend(11u64, OccursAfter::none());
+        let msg: GroupWire<GraphEnvelope<u64>> = GroupWire::Rb(RbMsg::Data(Timed {
+            env,
+            sent_at: SimTime::from_micros(42),
+        }));
+        let decoded = GroupWire::from_wire(&msg.to_wire()).unwrap();
+        assert_eq!(decoded, msg);
+
+        let ack: GroupWire<GraphEnvelope<u64>> =
+            GroupWire::Rb(RbMsg::Ack(MsgId::new(ProcessId::new(1), 9)));
+        assert_eq!(GroupWire::from_wire(&ack.to_wire()).unwrap(), ack);
+
+        let report: GroupWire<GraphEnvelope<u64>> =
+            GroupWire::StabilityReport(VectorClock::from_entries([4, 0, 2]));
+        assert_eq!(GroupWire::from_wire(&report.to_wire()).unwrap(), report);
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        let buf = [7u8];
+        let out: Result<GroupWire<GraphEnvelope<u64>>, _> = GroupWire::from_wire(&buf);
+        assert_eq!(out, Err(DecodeError::InvalidTag { got: 7 }));
     }
 }

@@ -9,7 +9,7 @@ use causal_core::osend::GraphEnvelope;
 use causal_core::stable::{LogEntry, StablePointDetector};
 use causal_core::statemachine::{is_transition_preserving, Operation};
 use causal_core::total::{DeterministicMerge, RoundMsg};
-use causal_core::wire;
+use causal_core::wire::{self, WireEncode};
 use proptest::prelude::*;
 
 /// A randomly generated message universe: message `i` (0-based) originates
@@ -313,12 +313,12 @@ proptest! {
         payload in ".*",
     ) {
         let env = GraphEnvelope { id, deps, payload };
-        let mut buf = bytes::BytesMut::new();
+        let mut buf = Vec::new();
         wire::encode_graph_envelope(&env, &mut buf);
-        let mut bytes = buf.freeze();
-        let decoded: GraphEnvelope<String> = wire::decode_graph_envelope(&mut bytes).unwrap();
+        let mut input = buf.as_slice();
+        let decoded: GraphEnvelope<String> = wire::decode_graph_envelope(&mut input).unwrap();
         prop_assert_eq!(decoded, env);
-        prop_assert!(bytes.is_empty());
+        prop_assert!(input.is_empty());
     }
 
     /// Wire codec: vt envelopes round-trip for arbitrary clocks.
@@ -329,19 +329,60 @@ proptest! {
         payload in any::<i64>(),
     ) {
         let env = VtEnvelope { id, vt: VectorClock::from_entries(entries), payload };
-        let mut buf = bytes::BytesMut::new();
+        let mut buf = Vec::new();
         wire::encode_vt_envelope(&env, &mut buf);
-        let mut bytes = buf.freeze();
-        let decoded: VtEnvelope<i64> = wire::decode_vt_envelope(&mut bytes).unwrap();
+        let mut input = buf.as_slice();
+        let decoded: VtEnvelope<i64> = wire::decode_vt_envelope(&mut input).unwrap();
         prop_assert_eq!(decoded, env);
     }
 
     /// Wire codec: decoding arbitrary junk never panics.
     #[test]
     fn wire_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut bytes = bytes::Bytes::from(junk);
-        let _: Result<GraphEnvelope<u64>, _> = wire::decode_graph_envelope(&mut bytes);
-        let mut bytes2 = bytes.clone();
-        let _: Result<VtEnvelope<u64>, _> = wire::decode_vt_envelope(&mut bytes2);
+        let mut input = junk.as_slice();
+        let _: Result<GraphEnvelope<u64>, _> = wire::decode_graph_envelope(&mut input);
+        let mut input2 = junk.as_slice();
+        let _: Result<VtEnvelope<u64>, _> = wire::decode_vt_envelope(&mut input2);
+    }
+
+    /// Frame header: round-trips at every legal length, including the
+    /// boundaries 0 and MAX_FRAME_LEN.
+    #[test]
+    fn frame_header_roundtrips(raw in 0u32..=wire::MAX_FRAME_LEN) {
+        // Exercise the exact boundaries alongside arbitrary lengths.
+        for len in [0, raw, wire::MAX_FRAME_LEN] {
+            let header = wire::FrameHeader { len };
+            let buf = header.to_wire();
+            prop_assert_eq!(buf.len(), wire::FrameHeader::ENCODED_LEN);
+            prop_assert_eq!(wire::FrameHeader::from_wire(&buf).unwrap(), header);
+        }
+    }
+
+    /// Frame header: every truncated prefix fails with UnexpectedEnd, never
+    /// a panic or a bogus success.
+    #[test]
+    fn frame_header_truncation_detected(len in 0u32..=wire::MAX_FRAME_LEN) {
+        let buf = wire::FrameHeader { len }.to_wire();
+        for cut in 0..buf.len() {
+            let mut input = &buf[..cut];
+            prop_assert_eq!(
+                wire::FrameHeader::decode(&mut input),
+                Err(wire::DecodeError::UnexpectedEnd)
+            );
+        }
+    }
+
+    /// Frame header: lengths beyond MAX_FRAME_LEN are rejected as
+    /// LengthOutOfRange, reporting the offending length.
+    #[test]
+    fn frame_header_oversized_rejected(excess in 1u32..=(u32::MAX - wire::MAX_FRAME_LEN)) {
+        let bad = wire::MAX_FRAME_LEN + excess;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&bad.to_le_bytes());
+        let mut input = buf.as_slice();
+        prop_assert_eq!(
+            wire::FrameHeader::decode(&mut input),
+            Err(wire::DecodeError::LengthOutOfRange { got: bad as u64 })
+        );
     }
 }

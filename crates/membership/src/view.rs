@@ -1,7 +1,6 @@
 //! Group views: numbered membership snapshots.
 
 use causal_clocks::ProcessId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Monotonically increasing identifier of a group view.
@@ -13,9 +12,7 @@ use std::fmt;
 /// let v = ViewId::initial();
 /// assert!(v.next() > v);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ViewId(u64);
 
 impl ViewId {
@@ -59,7 +56,7 @@ impl fmt::Display for ViewId {
 /// assert_eq!(smaller.coordinator(), ProcessId::new(1));
 /// assert!(smaller.id() > view.id());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GroupView {
     id: ViewId,
     members: Vec<ProcessId>,

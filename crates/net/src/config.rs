@@ -1,0 +1,38 @@
+//! Transport tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for a TCP node: reconnect policy and polling granularity.
+///
+/// The defaults suit localhost clusters and tests; a LAN deployment would
+/// raise the backoff ceiling and the retry budget.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Delay before the first reconnect attempt; doubles per failure.
+    pub backoff_initial: Duration,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_max: Duration,
+    /// Connection attempts per reconnect episode. When exhausted the
+    /// triggering frame is dropped (counted in
+    /// [`LinkSnapshot::send_drops`](crate::stats::LinkSnapshot::send_drops));
+    /// the next outbound frame starts a fresh episode.
+    pub max_connect_retries: u32,
+    /// Granularity at which blocked reads/receives re-check the shutdown
+    /// flag. Lower is snappier shutdown, higher is fewer wakeups.
+    pub poll_interval: Duration,
+    /// How long an accepted connection may sit silent before its
+    /// identifying `Hello` frame must have arrived.
+    pub hello_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            max_connect_retries: 12,
+            poll_interval: Duration::from_millis(20),
+            hello_timeout: Duration::from_secs(2),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Per-peer TCP connection management: handshake, reconnect, teardown.
+//!
+//! Connections are **directional**: for every ordered pair `(a, b)` of
+//! group members, `a` owns one outbound connection to `b` (so a group of
+//! `n` carries `n·(n-1)` sockets — fine at the group sizes the paper
+//! targets). The initiator identifies itself with a `Hello` frame; the
+//! acceptor spawns a reader that tags every subsequent frame with that id.
+//!
+//! Failure policy: a failed write tears the connection down and the frame
+//! is **dropped**; the next outbound frame triggers a reconnect episode
+//! (exponential backoff, bounded attempts). The transport never queues
+//! across an outage beyond what is already in the channel — the reliable
+//! broadcast layer above retransmits on a timer, so dropped frames cost
+//! latency, not correctness. This mirrors the paper's kernel-interface
+//! assumption that the network may lose messages.
+
+use crate::config::TcpConfig;
+use crate::frame::{hello_body, parse_hello, write_frame, FrameReader};
+use crate::stats::NetStats;
+use causal_clocks::ProcessId;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A raw inbound message: the sending peer and the undecoded frame body.
+pub type RawInbound = (ProcessId, Vec<u8>);
+
+struct Link {
+    tx: Mutex<Sender<Vec<u8>>>,
+    /// Clone of the currently live outbound stream, for fault injection
+    /// ([`ConnectionManager::force_disconnect`]) and shutdown.
+    live: Arc<Mutex<Option<TcpStream>>>,
+}
+
+/// Owns one node's sockets and I/O threads: an acceptor, one reader per
+/// inbound connection, one writer per peer.
+///
+/// All methods take `&self`; the manager is shared between the driver
+/// thread and the controlling [`NodeHandle`](crate::node::NodeHandle)
+/// through an `Arc`.
+pub struct ConnectionManager {
+    me: ProcessId,
+    links: Vec<Option<Link>>,
+    inbox_tx: Mutex<Sender<RawInbound>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ConnectionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectionManager")
+            .field("me", &self.me)
+            .field("peers", &self.links.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConnectionManager {
+    /// Starts the I/O threads for node `me`. `peer_addrs` is indexed by
+    /// [`ProcessId`] and must include an entry for `me` itself (ignored —
+    /// self-sends loop back through the inbox without touching a socket).
+    /// Inbound messages arrive on `inbox_tx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn start(
+        me: ProcessId,
+        listener: TcpListener,
+        peer_addrs: &[SocketAddr],
+        config: TcpConfig,
+        stats: Arc<NetStats>,
+        inbox_tx: Sender<RawInbound>,
+    ) -> io::Result<Self> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        listener.set_nonblocking(true)?;
+        let acceptor = std::thread::spawn({
+            let inbox_tx = inbox_tx.clone();
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let readers = Arc::clone(&readers);
+            let config = config.clone();
+            move || accept_loop(listener, inbox_tx, stats, shutdown, readers, config)
+        });
+
+        let mut links = Vec::with_capacity(peer_addrs.len());
+        let mut writers = Vec::new();
+        for (i, &addr) in peer_addrs.iter().enumerate() {
+            let peer = ProcessId::new(i as u32);
+            if peer == me {
+                links.push(None);
+                continue;
+            }
+            let (tx, rx) = channel();
+            let live = Arc::new(Mutex::new(None));
+            writers.push(std::thread::spawn({
+                let live = Arc::clone(&live);
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                let config = config.clone();
+                move || writer_loop(me, peer, addr, rx, live, stats, shutdown, config)
+            }));
+            links.push(Some(Link {
+                tx: Mutex::new(tx),
+                live,
+            }));
+        }
+
+        Ok(ConnectionManager {
+            me,
+            links,
+            inbox_tx: Mutex::new(inbox_tx),
+            shutdown,
+            stats,
+            writers: Mutex::new(writers),
+            acceptor: Mutex::new(Some(acceptor)),
+            readers,
+        })
+    }
+
+    /// Hands an encoded message body to the link toward `to`. Self-sends
+    /// loop straight back into the inbox.
+    pub fn send_to(&self, to: ProcessId, body: Vec<u8>) {
+        if let Some(link) = self.stats.link(to) {
+            link.record_sent(body.len());
+        }
+        if to == self.me {
+            let _ = self.inbox_tx.lock().unwrap().send((self.me, body));
+            return;
+        }
+        match self.links.get(to.as_usize()) {
+            Some(Some(link)) => {
+                let _ = link.tx.lock().unwrap().send(body);
+            }
+            _ => {
+                if let Some(link) = self.stats.link(to) {
+                    link.record_send_drop();
+                }
+            }
+        }
+    }
+
+    /// Fault injection: hard-closes the live outbound connection to `to`
+    /// (both directions of the socket), as if the network cut it. The
+    /// writer notices on its next send and reconnects with backoff.
+    pub fn force_disconnect(&self, to: ProcessId) {
+        if let Some(Some(link)) = self.links.get(to.as_usize()) {
+            if let Some(stream) = link.live.lock().unwrap().take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Stops all I/O threads and closes every connection. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for link in self.links.iter().flatten() {
+            if let Some(stream) = link.live.lock().unwrap().take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(handle) = self.acceptor.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        for handle in self.writers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.readers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inbox_tx: Sender<RawInbound>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: TcpConfig,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(config.poll_interval)).is_err()
+                {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let handle = std::thread::spawn({
+                    let inbox_tx = inbox_tx.clone();
+                    let stats = Arc::clone(&stats);
+                    let shutdown = Arc::clone(&shutdown);
+                    let config = config.clone();
+                    move || reader_loop(stream, inbox_tx, stats, shutdown, config)
+                });
+                readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    inbox_tx: Sender<RawInbound>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    config: TcpConfig,
+) {
+    let mut reader = FrameReader::new(stream);
+
+    // Handshake: the first frame must be a valid Hello naming a known peer.
+    let started = Instant::now();
+    let from = loop {
+        if shutdown.load(Ordering::SeqCst) || started.elapsed() > config.hello_timeout {
+            return;
+        }
+        match reader.next_frame() {
+            Ok(Some(body)) => match parse_hello(&body) {
+                Ok(id) if stats.link(id).is_some() => break id,
+                _ => {
+                    stats.record_decode_error();
+                    return;
+                }
+            },
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    };
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.next_frame() {
+            Ok(Some(body)) => {
+                let len = body.len();
+                if inbox_tx.send((from, body)).is_err() {
+                    return; // driver gone
+                }
+                // Counted only once handed to the driver, so the counters
+                // never run ahead of what the actor can still observe.
+                if let Some(link) = stats.link(from) {
+                    link.record_recv(len);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    // Desynchronized framing: nothing downstream is
+                    // trustworthy, so drop the connection and let the
+                    // peer's writer re-establish it.
+                    stats.record_decode_error();
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    me: ProcessId,
+    to: ProcessId,
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    live: Arc<Mutex<Option<TcpStream>>>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    config: TcpConfig,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    while !shutdown.load(Ordering::SeqCst) {
+        let body = match rx.recv_timeout(config.poll_interval) {
+            Ok(body) => body,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+
+        if stream.is_none() {
+            stream = connect_with_backoff(me, addr, &config, &shutdown);
+            if let Some(s) = &stream {
+                if ever_connected {
+                    if let Some(link) = stats.link(to) {
+                        link.record_reconnect();
+                    }
+                }
+                ever_connected = true;
+                *live.lock().unwrap() = s.try_clone().ok();
+            }
+        }
+
+        let Some(s) = stream.as_mut() else {
+            if let Some(link) = stats.link(to) {
+                link.record_send_drop();
+            }
+            continue;
+        };
+        if write_frame(s, &body).is_err() {
+            stream = None;
+            *live.lock().unwrap() = None;
+            if let Some(link) = stats.link(to) {
+                link.record_send_drop();
+            }
+        }
+    }
+    if let Some(s) = stream {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}
+
+/// One reconnect episode: up to `max_connect_retries` attempts with
+/// exponentially growing delays, abandoned early on shutdown. A fresh
+/// connection immediately identifies itself with a `Hello` frame.
+fn connect_with_backoff(
+    me: ProcessId,
+    addr: SocketAddr,
+    config: &TcpConfig,
+    shutdown: &AtomicBool,
+) -> Option<TcpStream> {
+    let mut delay = config.backoff_initial;
+    for attempt in 0..config.max_connect_retries {
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        if attempt > 0 {
+            interruptible_sleep(delay, shutdown);
+            delay = (delay * 2).min(config.backoff_max);
+        }
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = s.set_nodelay(true);
+        if write_frame(&mut s, &hello_body(me)).is_ok() {
+            return Some(s);
+        }
+    }
+    None
+}
+
+fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(2).min(total));
+    }
+}

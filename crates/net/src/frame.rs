@@ -1,0 +1,206 @@
+//! Length-prefixed framing and the connection handshake over byte streams.
+//!
+//! Reuses the [`FrameHeader`] codec from `causal-core`'s wire module: a
+//! frame is `u32-LE body length ‖ body`, with lengths above
+//! [`MAX_FRAME_LEN`](causal_core::wire::MAX_FRAME_LEN) rejected before any
+//! allocation. [`FrameReader`] tolerates read timeouts mid-frame (streams
+//! here run with a read timeout so threads can observe shutdown), buffering
+//! partial bytes until a whole frame is available.
+
+use causal_clocks::ProcessId;
+use causal_core::wire::{get_u32_le, DecodeError, FrameHeader, WireEncode};
+use std::io::{self, Read, Write};
+
+/// First bytes of every connection: identifies the protocol ("CNE" + version).
+pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"CNE1");
+
+/// Writes one frame (`header ‖ body`) and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`](causal_core::wire::MAX_FRAME_LEN).
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(FrameHeader::ENCODED_LEN + body.len());
+    FrameHeader::for_body_len(body.len()).encode(&mut buf);
+    buf.extend_from_slice(body);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// The body of the identifying `Hello` frame an initiator sends first.
+pub fn hello_body(me: ProcessId) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8);
+    body.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+    body.extend_from_slice(&me.as_u32().to_le_bytes());
+    body
+}
+
+/// Parses a `Hello` body back into the initiator's id.
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation, bad magic, or trailing bytes.
+pub fn parse_hello(body: &[u8]) -> Result<ProcessId, DecodeError> {
+    let mut input = body;
+    let magic = get_u32_le(&mut input)?;
+    if magic != HELLO_MAGIC {
+        return Err(DecodeError::InvalidTag {
+            got: magic.to_le_bytes()[0],
+        });
+    }
+    let id = ProcessId::new(get_u32_le(&mut input)?);
+    if input.is_empty() {
+        Ok(id)
+    } else {
+        Err(DecodeError::LengthOutOfRange {
+            got: input.len() as u64,
+        })
+    }
+}
+
+/// Incremental frame reassembler over a (possibly timing-out) reader.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, which should have a read timeout set if the caller
+    /// needs to interleave shutdown checks.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Returns the next complete frame body, `Ok(None)` if the read timed
+    /// out before one was available (partial bytes stay buffered), or an
+    /// error on EOF, I/O failure, or an out-of-range length prefix
+    /// (`InvalidData` — the stream is desynchronized and must be dropped).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the peer closes, `InvalidData` on a bad length
+    /// prefix, otherwise the underlying I/O error.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(frame) = self.try_pop()? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed connection",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_pop(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < FrameHeader::ENCODED_LEN {
+            return Ok(None);
+        }
+        let mut input = self.buf.as_slice();
+        let header = FrameHeader::decode(&mut input)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let total = FrameHeader::ENCODED_LEN + header.len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[FrameHeader::ENCODED_LEN..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"bravo!").unwrap();
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"alpha");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"bravo!");
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    /// Reader that hands out one byte per call, mimicking worst-case
+    /// fragmentation.
+    struct Trickle(Vec<u8>, usize);
+    impl Read for Trickle {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.1 >= self.0.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+            }
+            out[0] = self.0[self.1];
+            self.1 += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"fragmented").unwrap();
+        let total = wire.len();
+        let mut reader = FrameReader::new(Trickle(wire, 0));
+        let mut got = None;
+        for _ in 0..=total {
+            if let Some(frame) = reader.next_frame().unwrap() {
+                got = Some(frame);
+                break;
+            }
+        }
+        assert_eq!(got.unwrap(), b"fragmented");
+    }
+
+    #[test]
+    fn oversized_length_is_invalid_data() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn hello_roundtrip_and_rejection() {
+        let body = hello_body(ProcessId::new(9));
+        assert_eq!(parse_hello(&body).unwrap(), ProcessId::new(9));
+        assert!(parse_hello(&body[..6]).is_err());
+        let mut bad = body.clone();
+        bad[0] ^= 0xFF;
+        assert!(parse_hello(&bad).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-link transport counters.
+//!
+//! Counters are lock-free atomics shared between the writer, reader, and
+//! driver threads; [`NetStats::snapshot`] reads them at a single point for
+//! reporting. Relaxed ordering suffices — the counters are monotonic and
+//! independently meaningful.
+
+use causal_clocks::ProcessId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one directed link (this node → one peer, plus what
+/// this node received *from* that peer).
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    reconnects: AtomicU64,
+    send_drops: AtomicU64,
+}
+
+impl LinkStats {
+    pub(crate) fn record_sent(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_send_drop(&self) {
+        self.send_drops.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one link's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Frames handed to the link for transmission.
+    pub msgs_sent: u64,
+    /// Frame-body bytes handed to the link.
+    pub bytes_sent: u64,
+    /// Frames received from this peer.
+    pub msgs_recv: u64,
+    /// Frame-body bytes received from this peer.
+    pub bytes_recv: u64,
+    /// Connections re-established after a previously live one failed.
+    pub reconnects: u64,
+    /// Frames dropped because the link was down (the reliability layer
+    /// above retransmits, so drops cost latency, not correctness).
+    pub send_drops: u64,
+}
+
+/// Live counters for one node's transport: a [`LinkStats`] per peer plus
+/// decode failures (frame desync or undecodable message bodies).
+#[derive(Debug)]
+pub struct NetStats {
+    links: Vec<LinkStats>,
+    decode_errors: AtomicU64,
+}
+
+impl NetStats {
+    /// Counters for a group of `n` members.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            links: (0..n).map(|_| LinkStats::default()).collect(),
+            decode_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The counters of the link to/from `peer`, if `peer` is in range.
+    pub(crate) fn link(&self, peer: ProcessId) -> Option<&LinkStats> {
+        self.links.get(peer.as_usize())
+    }
+
+    pub(crate) fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies all counters at one point in time.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkSnapshot {
+                    msgs_sent: l.msgs_sent.load(Ordering::Relaxed),
+                    bytes_sent: l.bytes_sent.load(Ordering::Relaxed),
+                    msgs_recv: l.msgs_recv.load(Ordering::Relaxed),
+                    bytes_recv: l.bytes_recv.load(Ordering::Relaxed),
+                    reconnects: l.reconnects.load(Ordering::Relaxed),
+                    send_drops: l.send_drops.load(Ordering::Relaxed),
+                })
+                .collect(),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a node's transport counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// One entry per group member, indexed by [`ProcessId`]; a node's own
+    /// entry counts loopback self-sends.
+    pub links: Vec<LinkSnapshot>,
+    /// Frames or message bodies that failed to decode.
+    pub decode_errors: u64,
+}
+
+impl NetSnapshot {
+    /// Total frames sent across all links.
+    pub fn total_sent(&self) -> u64 {
+        self.links.iter().map(|l| l.msgs_sent).sum()
+    }
+
+    /// Total frames received across all links.
+    pub fn total_recv(&self) -> u64 {
+        self.links.iter().map(|l| l.msgs_recv).sum()
+    }
+
+    /// Total reconnects across all links.
+    pub fn total_reconnects(&self) -> u64 {
+        self.links.iter().map(|l| l.reconnects).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let stats = NetStats::new(2);
+        let link = stats.link(ProcessId::new(1)).unwrap();
+        link.record_sent(10);
+        link.record_sent(5);
+        link.record_recv(3);
+        link.record_reconnect();
+        link.record_send_drop();
+        stats.record_decode_error();
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.links[1].msgs_sent, 2);
+        assert_eq!(snap.links[1].bytes_sent, 15);
+        assert_eq!(snap.links[1].msgs_recv, 1);
+        assert_eq!(snap.links[1].bytes_recv, 3);
+        assert_eq!(snap.links[1].reconnects, 1);
+        assert_eq!(snap.links[1].send_drops, 1);
+        assert_eq!(snap.decode_errors, 1);
+        assert_eq!(snap.total_sent(), 2);
+        assert_eq!(snap.total_reconnects(), 1);
+        assert!(stats.link(ProcessId::new(9)).is_none());
+    }
+}

@@ -18,12 +18,11 @@ use causal_clocks::{MsgId, ProcessId};
 use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::{GraphEnvelope, OccursAfter};
 use causal_core::statemachine::OpClass;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One card played: `(round, player)`. The "card value" is immaterial to
 /// the ordering study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CardOp {
     /// The round the card belongs to.
     pub round: u64,

@@ -12,10 +12,10 @@ use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::GraphEnvelope;
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::{OpClass, Operation};
-use serde::{Deserialize, Serialize};
+use causal_core::wire::{DecodeError, WireEncode};
 
 /// Operations on the shared integer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterOp {
     /// Add `k` — commutative.
     Inc(i64),
@@ -34,6 +34,43 @@ impl CounterOp {
         match self {
             CounterOp::Inc(_) | CounterOp::Dec(_) => OpClass::Commutative,
             CounterOp::Set(_) | CounterOp::Read => OpClass::NonCommutative,
+        }
+    }
+}
+
+const TAG_INC: u8 = 0;
+const TAG_DEC: u8 = 1;
+const TAG_SET: u8 = 2;
+const TAG_READ: u8 = 3;
+
+impl WireEncode for CounterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CounterOp::Inc(k) => {
+                out.push(TAG_INC);
+                k.encode(out);
+            }
+            CounterOp::Dec(k) => {
+                out.push(TAG_DEC);
+                k.encode(out);
+            }
+            CounterOp::Set(v) => {
+                out.push(TAG_SET);
+                v.encode(out);
+            }
+            CounterOp::Read => out.push(TAG_READ),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let (&tag, rest) = input.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            TAG_INC => Ok(CounterOp::Inc(i64::decode(input)?)),
+            TAG_DEC => Ok(CounterOp::Dec(i64::decode(input)?)),
+            TAG_SET => Ok(CounterOp::Set(i64::decode(input)?)),
+            TAG_READ => Ok(CounterOp::Read),
+            got => Err(DecodeError::InvalidTag { got }),
         }
     }
 }

@@ -14,11 +14,10 @@ use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::GraphEnvelope;
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::OpClass;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Operations on the shared design document.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DocOp {
     /// Attach a note to a line — commutative (annotations are a set).
     Annotate {
@@ -51,7 +50,7 @@ impl DocOp {
 /// The document value: line texts plus per-line annotation sets. The
 /// annotation sets are keyed by `(author message, note)`, so replicas that
 /// applied concurrent annotations in different orders still compare equal.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Document {
     /// Line number → current text.
     pub lines: BTreeMap<u64, String>,

@@ -20,11 +20,10 @@ use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::GraphEnvelope;
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::{OpClass, Operation};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// File-service operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileOp {
     /// Replace a file's base content — non-commutative *per file*.
     Write {
@@ -70,7 +69,7 @@ impl FileOp {
 }
 
 /// One replicated file: base content plus the set of appended lines.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct File {
     /// Content set by the latest `Write`.
     pub content: String,
@@ -80,7 +79,7 @@ pub struct File {
 }
 
 /// The replicated file-system value.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FileSystem {
     /// Path → file.
     pub files: BTreeMap<String, File>,

@@ -23,11 +23,10 @@ use causal_clocks::{MsgId, ProcessId};
 use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::{GraphEnvelope, OccursAfter};
 use causal_core::statemachine::OpClass;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Wire operations of the arbitration protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockOp {
     /// `[LOCK, member, S]` — a spontaneous request for cycle `S`.
     Lock {

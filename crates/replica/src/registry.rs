@@ -24,19 +24,18 @@ use causal_clocks::MsgId;
 use causal_core::node::{CausalApp, Emitter};
 use causal_core::osend::GraphEnvelope;
 use causal_core::statemachine::OpClass;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The context a query carries: the version of the queried name its
 /// issuer had observed when issuing (0 = never bound).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QryContext {
     /// Version of the name at the issuer, at issue time.
     pub version_seen: u64,
 }
 
 /// One name binding with its version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// How many registrations of this name this member has applied.
     pub version: u64,
@@ -45,7 +44,7 @@ pub struct Binding {
 }
 
 /// Name-service operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryOp {
     /// Register or overwrite a name binding (spontaneous w.r.t. other
     /// writers; each writer chains its own registrations of a name).
@@ -65,7 +64,7 @@ pub enum RegistryOp {
 }
 
 /// The outcome of one query at one member.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QryOutcome {
     /// The context matched: the member returned this binding (or `None`
     /// for a name never bound, when the issuer had also seen version 0).

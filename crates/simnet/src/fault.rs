@@ -2,7 +2,6 @@
 
 use crate::SimTime;
 use causal_clocks::ProcessId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Probabilistic message faults applied to every point-to-point
@@ -16,7 +15,7 @@ use std::collections::BTreeSet;
 /// let faults = FaultPlan::new().with_drop_prob(0.05).with_dup_prob(0.01);
 /// assert_eq!(faults.drop_prob(), 0.05);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     drop_prob: f64,
     dup_prob: f64,
@@ -88,7 +87,7 @@ impl FaultPlan {
 /// assert!(!p.severs(ProcessId::new(0), ProcessId::new(2), SimTime::from_millis(25)));
 /// assert!(!p.severs(ProcessId::new(1), ProcessId::new(2), SimTime::from_millis(15)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     side_a: BTreeSet<ProcessId>,
     side_b: BTreeSet<ProcessId>,

@@ -2,7 +2,6 @@
 
 use crate::SimDuration;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A one-way message latency distribution.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let d = lat.sample(&mut rng);
 /// assert!((100..200).contains(&d.as_micros()));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Every message takes exactly this many microseconds.
     Constant {

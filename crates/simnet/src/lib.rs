@@ -11,8 +11,9 @@
 //! benchmark figure — exactly reproducible.
 //!
 //! A small real-thread runtime ([`threaded`]) runs the same [`Actor`]s over
-//! crossbeam channels, demonstrating that the protocol crates are
-//! transport-agnostic (sans-IO).
+//! in-process channels, demonstrating that the protocol crates are
+//! transport-agnostic (sans-IO); the `causal-net` crate carries them over
+//! real TCP sockets using the shared [`runner`] driver.
 //!
 //! # Examples
 //!
@@ -52,6 +53,7 @@ mod event;
 mod fault;
 mod latency;
 mod metrics;
+pub mod runner;
 mod sim;
 pub mod threaded;
 mod time;
@@ -61,6 +63,7 @@ pub use actor::{Actor, Command, Context};
 pub use fault::{FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use metrics::{Histogram, Metrics};
+pub use runner::{ActorRunner, Transport};
 pub use sim::{NetConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

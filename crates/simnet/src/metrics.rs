@@ -1,7 +1,6 @@
 //! Run metrics: message counters and latency histograms.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A sample-storing histogram of durations with percentile queries.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.max().as_micros(), 100);
 /// assert_eq!(h.mean_micros(), 22.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
@@ -104,7 +103,7 @@ impl Histogram {
 /// Transport-level numbers: `delivered` counts network deliveries to actor
 /// callbacks, not application-level (causal) deliveries, which the protocol
 /// layers track themselves.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Messages submitted to the network (including loopback).
     pub sent: u64,

@@ -1,0 +1,217 @@
+//! Wall-clock driver for [`Actor`]s over a pluggable [`Transport`].
+//!
+//! The discrete-event [`Simulation`](crate::Simulation) owns its own event
+//! loop; every *real-time* runtime (the in-process [`threaded`] runtime,
+//! `causal-net`'s TCP transport) needs the same surrounding machinery: an
+//! RNG derived from the run seed, a wall-clock origin mapped onto
+//! [`SimTime`], a timer wheel for [`Command::SetTimer`], and command
+//! draining after each callback. [`ActorRunner`] factors that out so a
+//! transport only has to deliver bytes and call back in.
+//!
+//! [`threaded`]: crate::threaded
+//!
+//! The division of labour:
+//!
+//! - the **transport** owns the sockets/channels and the receive loop;
+//! - the **runner** owns the actor, its timers, and its clock.
+//!
+//! A transport's loop looks like:
+//!
+//! ```text
+//! runner.start(&mut transport);
+//! loop {
+//!     runner.fire_due_timers(&mut transport);
+//!     wait for a message until runner.next_timer_deadline();
+//!     if a message arrived { runner.on_message(&mut transport, from, msg); }
+//! }
+//! ```
+
+use crate::actor::{Actor, Command, Context};
+use crate::SimTime;
+use causal_clocks::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// An outbound message sink for one node.
+///
+/// Implementations decide what "send" means: an in-process channel, a TCP
+/// connection, a recording vector in tests. Delivery is allowed to fail
+/// silently (links drop during reconnects); the protocol layers above are
+/// built to retransmit.
+pub trait Transport<M> {
+    /// Hands `msg` to the transport for delivery to `to`.
+    fn send(&mut self, to: ProcessId, msg: M);
+}
+
+impl<M, F: FnMut(ProcessId, M)> Transport<M> for F {
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self(to, msg)
+    }
+}
+
+/// Drives one [`Actor`] against wall-clock time.
+///
+/// Owns the actor, its deterministic RNG, and its pending timers. The
+/// embedding transport calls [`start`](ActorRunner::start) once, then
+/// alternates [`fire_due_timers`](ActorRunner::fire_due_timers) and
+/// [`on_message`](ActorRunner::on_message), sleeping no later than
+/// [`next_timer_deadline`](ActorRunner::next_timer_deadline) between turns.
+#[derive(Debug)]
+pub struct ActorRunner<A: Actor> {
+    node: A,
+    me: ProcessId,
+    group_size: usize,
+    rng: StdRng,
+    epoch: Instant,
+    // Timer wheel: (deadline, insertion-order, tag).
+    timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    timer_seq: u64,
+}
+
+enum Event<M> {
+    Start,
+    Message(ProcessId, M),
+    Timer(u64),
+}
+
+impl<A: Actor> ActorRunner<A> {
+    /// Wraps `node` as process `me` of a group of `group_size`, with its
+    /// RNG derived from `seed` (callers conventionally mix the node index
+    /// into the seed so nodes diverge).
+    pub fn new(node: A, me: ProcessId, group_size: usize, seed: u64) -> Self {
+        ActorRunner {
+            node,
+            me,
+            group_size,
+            rng: StdRng::seed_from_u64(seed),
+            epoch: Instant::now(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+        }
+    }
+
+    /// This runner's process id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Delivers the `on_start` callback. Call exactly once, first.
+    pub fn start<T: Transport<A::Msg>>(&mut self, transport: &mut T) {
+        self.dispatch(transport, Event::Start);
+    }
+
+    /// Delivers one inbound message to the actor.
+    pub fn on_message<T: Transport<A::Msg>>(
+        &mut self,
+        transport: &mut T,
+        from: ProcessId,
+        msg: A::Msg,
+    ) {
+        self.dispatch(transport, Event::Message(from, msg));
+    }
+
+    /// Fires every timer whose deadline has passed, in deadline order.
+    pub fn fire_due_timers<T: Transport<A::Msg>>(&mut self, transport: &mut T) {
+        while let Some(Reverse((at, _, tag))) = self.timers.peek().copied() {
+            if at <= Instant::now() {
+                self.timers.pop();
+                self.dispatch(transport, Event::Timer(tag));
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The instant the next pending timer is due, if any. Transports use
+    /// this to bound their receive wait.
+    pub fn next_timer_deadline(&self) -> Option<Instant> {
+        self.timers.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Borrows the wrapped actor.
+    pub fn actor(&self) -> &A {
+        &self.node
+    }
+
+    /// Unwraps the actor for end-of-run inspection.
+    pub fn into_actor(self) -> A {
+        self.node
+    }
+
+    fn dispatch<T: Transport<A::Msg>>(&mut self, transport: &mut T, event: Event<A::Msg>) {
+        let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+        let mut ctx = Context::new(self.me, now, self.group_size, &mut self.rng);
+        match event {
+            Event::Start => self.node.on_start(&mut ctx),
+            Event::Message(from, msg) => self.node.on_message(&mut ctx, from, msg),
+            Event::Timer(tag) => self.node.on_timer(&mut ctx, tag),
+        }
+        for command in ctx.take_commands() {
+            match command {
+                Command::Send { to, msg } => transport.send(to, msg),
+                Command::SetTimer { delay, tag } => {
+                    let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
+                    self.timers.push(Reverse((fire_at, self.timer_seq, tag)));
+                    self.timer_seq += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[derive(Default)]
+    struct Recorder(Vec<(ProcessId, u32)>);
+    impl Transport<u32> for Recorder {
+        fn send(&mut self, to: ProcessId, msg: u32) {
+            self.0.push((to, msg));
+        }
+    }
+
+    struct Chatty;
+    impl Actor for Chatty {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.send(ProcessId::new(1), 10);
+            ctx.set_timer(SimDuration::from_micros(0), 7);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            ctx.send(from, msg + 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32>, tag: u64) {
+            ctx.send(ProcessId::new(2), tag as u32);
+        }
+    }
+
+    #[test]
+    fn runner_routes_commands_through_transport() {
+        let mut transport = Recorder::default();
+        let mut runner = ActorRunner::new(Chatty, ProcessId::new(0), 3, 1);
+        runner.start(&mut transport);
+        assert_eq!(transport.0, vec![(ProcessId::new(1), 10)]);
+
+        runner.on_message(&mut transport, ProcessId::new(2), 5);
+        assert_eq!(transport.0.last(), Some(&(ProcessId::new(2), 6)));
+
+        // The zero-delay timer armed in on_start is already due.
+        assert!(runner.next_timer_deadline().is_some());
+        runner.fire_due_timers(&mut transport);
+        assert_eq!(transport.0.last(), Some(&(ProcessId::new(2), 7)));
+        assert!(runner.next_timer_deadline().is_none());
+    }
+
+    #[test]
+    fn closures_are_transports() {
+        let mut sent = Vec::new();
+        let mut runner = ActorRunner::new(Chatty, ProcessId::new(0), 3, 1);
+        runner.start(&mut |to, msg| sent.push((to, msg)));
+        assert_eq!(sent, vec![(ProcessId::new(1), 10)]);
+    }
+}

@@ -1,11 +1,16 @@
-//! A real-thread runtime for [`Actor`]s over crossbeam channels.
+//! A real-thread runtime for [`Actor`]s over in-process channels.
 //!
 //! The protocol crates are sans-IO: the same [`Actor`] that runs under the
 //! deterministic [`Simulation`](crate::Simulation) also runs here, on one OS
-//! thread per node with unbounded crossbeam channels as links. This runtime
-//! exists to demonstrate transport independence and to exercise the
+//! thread per node with unbounded `std::sync::mpsc` channels as links. This
+//! runtime exists to demonstrate transport independence and to exercise the
 //! protocols under *real* (non-deterministic) interleavings in integration
-//! tests; quantitative experiments use the simulator.
+//! tests; quantitative experiments use the simulator, and `causal-net`
+//! carries the same actors over real TCP sockets.
+//!
+//! Each node thread wraps its actor in an
+//! [`ActorRunner`](crate::runner::ActorRunner) — the same driver the TCP
+//! transport uses — so this file is only the channel plumbing.
 //!
 //! # Examples
 //!
@@ -29,24 +34,34 @@
 //! assert!(done.iter().all(|n| n.greeted == 1));
 //! ```
 
-use crate::actor::{Actor, Command, Context};
-use crate::SimTime;
+use crate::actor::Actor;
+use crate::runner::{ActorRunner, Transport};
 use causal_clocks::ProcessId;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 type Link<M> = (ProcessId, M);
 
+/// Fans outbound messages onto the per-node channels.
+struct Mesh<M> {
+    me: ProcessId,
+    senders: Vec<Sender<Link<M>>>,
+}
+
+impl<M> Transport<M> for Mesh<M> {
+    fn send(&mut self, to: ProcessId, msg: M) {
+        // Ignore send failures: the peer may already have passed the
+        // deadline and hung up.
+        let _ = self.senders[to.as_usize()].send((self.me, msg));
+    }
+}
+
 /// Runs each actor on its own OS thread for (at least) `duration` of wall
 /// time, then joins the threads and returns the actors for inspection.
 ///
-/// Message links are unbounded crossbeam channels (reliable, FIFO,
-/// unbounded latency jitter from the OS scheduler). Timers are serviced
-/// with millisecond-ish precision. `seed` derives each node's RNG, keeping
+/// Message links are unbounded mpsc channels (reliable, FIFO, unbounded
+/// latency jitter from the OS scheduler). Timers are serviced with
+/// millisecond-ish precision. `seed` derives each node's RNG, keeping
 /// actor-level randomness reproducible even though interleavings are not.
 ///
 /// # Panics
@@ -65,97 +80,40 @@ where
     let mut senders: Vec<Sender<Link<A::Msg>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Link<A::Msg>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
 
-    let start = Instant::now();
-    let deadline = start + duration;
+    let deadline = Instant::now() + duration;
     let mut handles = Vec::with_capacity(n);
-    for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+    for (i, (node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
         let me = ProcessId::new(i as u32);
-        let senders = senders.clone();
+        let mut mesh = Mesh {
+            me,
+            senders: senders.clone(),
+        };
         let handle = std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            // Timer wheel: (deadline, insertion-order, tag).
-            let mut timers: BinaryHeap<Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
-            let mut timer_seq = 0u64;
-
-            let now_sim = |start: Instant| SimTime::from_micros(start.elapsed().as_micros() as u64);
-            let dispatch = |node: &mut A,
-                            rng: &mut StdRng,
-                            timers: &mut BinaryHeap<Reverse<(Instant, u64, u64)>>,
-                            timer_seq: &mut u64,
-                            event: Event<A::Msg>| {
-                let mut ctx = Context::new(me, now_sim(start), n, rng);
-                match event {
-                    Event::Start => node.on_start(&mut ctx),
-                    Event::Message(from, msg) => node.on_message(&mut ctx, from, msg),
-                    Event::Timer(tag) => node.on_timer(&mut ctx, tag),
-                }
-                for command in ctx.take_commands() {
-                    match command {
-                        Command::Send { to, msg } => {
-                            // Ignore send failures: the peer may already
-                            // have passed the deadline and hung up.
-                            let _ = senders[to.as_usize()].send((me, msg));
-                        }
-                        Command::SetTimer { delay, tag } => {
-                            let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
-                            timers.push(Reverse((fire_at, *timer_seq, tag)));
-                            *timer_seq += 1;
-                        }
-                    }
-                }
-            };
-
-            dispatch(
-                &mut node,
-                &mut rng,
-                &mut timers,
-                &mut timer_seq,
-                Event::Start,
-            );
-
+            let mut runner = ActorRunner::new(node, me, n, seed.wrapping_add(i as u64));
+            runner.start(&mut mesh);
             loop {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                // Fire due timers.
-                while let Some(Reverse((at, _, tag))) = timers.peek().copied() {
-                    if at <= Instant::now() {
-                        timers.pop();
-                        dispatch(
-                            &mut node,
-                            &mut rng,
-                            &mut timers,
-                            &mut timer_seq,
-                            Event::Timer(tag),
-                        );
-                    } else {
-                        break;
-                    }
-                }
-                let wait_until = timers
-                    .peek()
-                    .map(|Reverse((at, _, _))| (*at).min(deadline))
+                runner.fire_due_timers(&mut mesh);
+                let wait_until = runner
+                    .next_timer_deadline()
+                    .map(|at| at.min(deadline))
                     .unwrap_or(deadline);
                 let timeout = wait_until.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(timeout) {
-                    Ok((from, msg)) => dispatch(
-                        &mut node,
-                        &mut rng,
-                        &mut timers,
-                        &mut timer_seq,
-                        Event::Message(from, msg),
-                    ),
+                    Ok((from, msg)) => runner.on_message(&mut mesh, from, msg),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            node
+            runner.into_actor()
         });
         handles.push(handle);
     }
@@ -166,15 +124,10 @@ where
         .collect()
 }
 
-enum Event<M> {
-    Start,
-    Message(ProcessId, M),
-    Timer(u64),
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
     use crate::SimDuration;
 
     struct PingPong {

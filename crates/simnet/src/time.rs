@@ -1,6 +1,5 @@
 //! Simulated time: instants and durations in microseconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -16,9 +15,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_micros(), 2_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(2_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -92,9 +89,7 @@ impl Sub<SimTime> for SimTime {
 /// assert_eq!(d.as_micros(), 1_500);
 /// assert_eq!(d * 2, SimDuration::from_micros(3_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -2,10 +2,9 @@
 
 use crate::SimTime;
 use causal_clocks::ProcessId;
-use serde::{Deserialize, Serialize};
 
 /// One transport-level occurrence in a simulation run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A message was submitted to the network.
     Sent {
@@ -70,7 +69,7 @@ impl TraceEvent {
 /// let trace = Trace::new();
 /// assert!(trace.events().is_empty());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

@@ -1,7 +1,7 @@
 //! The same protocol stack on real OS threads.
 //!
 //! The protocol crates are sans-IO: the identical [`CausalNode`] that the
-//! deterministic simulator drives also runs over crossbeam channels on
+//! deterministic simulator drives also runs over in-process channels on
 //! one thread per member. Here three threads run counter replicas, one
 //! member broadcasts a cycle of operations, and all replicas converge —
 //! under real, non-deterministic interleavings.
@@ -92,7 +92,7 @@ fn main() {
         assert_eq!(app.read_answers().first().map(|(_, v)| *v), Some(104));
     }
     println!(
-        "\nall replicas converged to 104 over crossbeam channels — the \
+        "\nall replicas converged to 104 over in-process channels — the \
               same state machines the simulator drives, no code changed."
     );
 }

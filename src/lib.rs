@@ -17,14 +17,19 @@
 //!   managers (§6.1), decentralized lock arbitration (§6.2), a name service
 //!   with application-level consistency checks (§5.2), a conferencing
 //!   document, a card game, and baseline protocols.
+//! - [`net`] — a real TCP transport carrying the same sans-IO actors over
+//!   sockets: length-prefixed framing, per-peer reconnect with backoff,
+//!   and the [`LoopbackCluster`](causal_net::LoopbackCluster) harness.
 //!
-//! See `examples/quickstart.rs` for a complete runnable tour of the API.
+//! See `examples/quickstart.rs` for a complete runnable tour of the API,
+//! and `examples/tcp_counter.rs` for the same replicas over real TCP.
 
 #![forbid(unsafe_code)]
 
 pub use causal_clocks as clocks;
 pub use causal_core as core;
 pub use causal_membership as membership;
+pub use causal_net as net;
 pub use causal_replica as replica;
 pub use causal_simnet as simnet;
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gc-5687821c49015359.d: crates/bench/src/bin/ablation_gc.rs
+
+/root/repo/target/debug/deps/ablation_gc-5687821c49015359: crates/bench/src/bin/ablation_gc.rs
+
+crates/bench/src/bin/ablation_gc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-adef6287b551824e.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-adef6287b551824e: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/causal_bench-4c1f435a827fb737.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libcausal_bench-4c1f435a827fb737.rlib: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libcausal_bench-4c1f435a827fb737.rmeta: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

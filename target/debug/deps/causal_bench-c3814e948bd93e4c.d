@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causal_bench-c3814e948bd93e4c.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/causal_bench-c3814e948bd93e4c: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causal_broadcast-1e4a7c55bf636192.d: src/lib.rs
+
+/root/repo/target/debug/deps/causal_broadcast-1e4a7c55bf636192: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causal_broadcast-3e23609fb09e1ec5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_broadcast-3e23609fb09e1ec5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/causal_broadcast-8406eff44343b8dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcausal_broadcast-8406eff44343b8dc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcausal_broadcast-8406eff44343b8dc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causal_broadcast-e5e20bdb4174befa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_broadcast-e5e20bdb4174befa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/causal_clocks-028e2cc356870ad9.d: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_clocks-028e2cc356870ad9.rmeta: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs Cargo.toml
+
+crates/clocks/src/lib.rs:
+crates/clocks/src/ids.rs:
+crates/clocks/src/lamport.rs:
+crates/clocks/src/matrix.rs:
+crates/clocks/src/ordering.rs:
+crates/clocks/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

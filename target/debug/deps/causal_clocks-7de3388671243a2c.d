@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/causal_clocks-7de3388671243a2c.d: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/debug/deps/causal_clocks-7de3388671243a2c: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+crates/clocks/src/lib.rs:
+crates/clocks/src/ids.rs:
+crates/clocks/src/lamport.rs:
+crates/clocks/src/matrix.rs:
+crates/clocks/src/ordering.rs:
+crates/clocks/src/vector.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/causal_clocks-97193183501b83ec.d: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/debug/deps/libcausal_clocks-97193183501b83ec.rlib: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/debug/deps/libcausal_clocks-97193183501b83ec.rmeta: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+crates/clocks/src/lib.rs:
+crates/clocks/src/ids.rs:
+crates/clocks/src/lamport.rs:
+crates/clocks/src/matrix.rs:
+crates/clocks/src/ordering.rs:
+crates/clocks/src/vector.rs:

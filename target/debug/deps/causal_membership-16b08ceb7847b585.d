@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/causal_membership-16b08ceb7847b585.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_membership-16b08ceb7847b585.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs Cargo.toml
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/manager.rs:
+crates/membership/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/causal_membership-36343c06222984f4.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/causal_membership-36343c06222984f4: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/manager.rs:
+crates/membership/src/view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/causal_membership-60bfe7fac7e4b767.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libcausal_membership-60bfe7fac7e4b767.rlib: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libcausal_membership-60bfe7fac7e4b767.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/manager.rs:
+crates/membership/src/view.rs:

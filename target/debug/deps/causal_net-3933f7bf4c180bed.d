@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/causal_net-3933f7bf4c180bed.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libcausal_net-3933f7bf4c180bed.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libcausal_net-3933f7bf4c180bed.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/config.rs:
+crates/net/src/conn.rs:
+crates/net/src/frame.rs:
+crates/net/src/node.rs:
+crates/net/src/stats.rs:

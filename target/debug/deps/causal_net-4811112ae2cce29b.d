@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/causal_net-4811112ae2cce29b.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/causal_net-4811112ae2cce29b: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/config.rs:
+crates/net/src/conn.rs:
+crates/net/src/frame.rs:
+crates/net/src/node.rs:
+crates/net/src/stats.rs:

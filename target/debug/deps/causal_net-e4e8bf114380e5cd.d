@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causal_net-e4e8bf114380e5cd.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_net-e4e8bf114380e5cd.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/config.rs:
+crates/net/src/conn.rs:
+crates/net/src/frame.rs:
+crates/net/src/node.rs:
+crates/net/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

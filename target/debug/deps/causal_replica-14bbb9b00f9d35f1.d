@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causal_replica-14bbb9b00f9d35f1.d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/debug/deps/libcausal_replica-14bbb9b00f9d35f1.rlib: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/debug/deps/libcausal_replica-14bbb9b00f9d35f1.rmeta: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/baseline.rs:
+crates/replica/src/cardgame.rs:
+crates/replica/src/counter.rs:
+crates/replica/src/document.rs:
+crates/replica/src/fileservice.rs:
+crates/replica/src/frontend.rs:
+crates/replica/src/lock.rs:
+crates/replica/src/registry.rs:

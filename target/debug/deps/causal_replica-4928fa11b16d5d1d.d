@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/causal_replica-4928fa11b16d5d1d.d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/debug/deps/causal_replica-4928fa11b16d5d1d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/baseline.rs:
+crates/replica/src/cardgame.rs:
+crates/replica/src/counter.rs:
+crates/replica/src/document.rs:
+crates/replica/src/fileservice.rs:
+crates/replica/src/frontend.rs:
+crates/replica/src/lock.rs:
+crates/replica/src/registry.rs:

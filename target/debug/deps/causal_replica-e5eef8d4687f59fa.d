@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/causal_replica-e5eef8d4687f59fa.d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_replica-e5eef8d4687f59fa.rmeta: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs Cargo.toml
+
+crates/replica/src/lib.rs:
+crates/replica/src/baseline.rs:
+crates/replica/src/cardgame.rs:
+crates/replica/src/counter.rs:
+crates/replica/src/document.rs:
+crates/replica/src/fileservice.rs:
+crates/replica/src/frontend.rs:
+crates/replica/src/lock.rs:
+crates/replica/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causal_sim-d14fbc2762cdfcf8.d: crates/bench/src/bin/causal_sim.rs
+
+/root/repo/target/debug/deps/causal_sim-d14fbc2762cdfcf8: crates/bench/src/bin/causal_sim.rs
+
+crates/bench/src/bin/causal_sim.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/causal_simnet-5a3982b6923941ca.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libcausal_simnet-5a3982b6923941ca.rlib: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libcausal_simnet-5a3982b6923941ca.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/runner.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/causal_simnet-5e108ef41b165ff5.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_simnet-5e108ef41b165ff5.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/runner.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clock_props-a35bb64d046772b6.d: crates/clocks/tests/clock_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclock_props-a35bb64d046772b6.rmeta: crates/clocks/tests/clock_props.rs Cargo.toml
+
+crates/clocks/tests/clock_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

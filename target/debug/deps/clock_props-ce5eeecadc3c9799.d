@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_props-ce5eeecadc3c9799.d: crates/clocks/tests/clock_props.rs
+
+/root/repo/target/debug/deps/clock_props-ce5eeecadc3c9799: crates/clocks/tests/clock_props.rs
+
+crates/clocks/tests/clock_props.rs:

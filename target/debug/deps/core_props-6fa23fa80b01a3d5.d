@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/core_props-6fa23fa80b01a3d5.d: crates/core/tests/core_props.rs
+
+/root/repo/target/debug/deps/core_props-6fa23fa80b01a3d5: crates/core/tests/core_props.rs
+
+crates/core/tests/core_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/core_props-a6f96b72ab0f2d9a.d: crates/core/tests/core_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcore_props-a6f96b72ab0f2d9a.rmeta: crates/core/tests/core_props.rs Cargo.toml
+
+crates/core/tests/core_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

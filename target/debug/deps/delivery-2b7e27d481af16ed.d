@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delivery-2b7e27d481af16ed.d: crates/bench/benches/delivery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelivery-2b7e27d481af16ed.rmeta: crates/bench/benches/delivery.rs Cargo.toml
+
+crates/bench/benches/delivery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_counter-965ec55f405712ee.d: tests/e2e_counter.rs
+
+/root/repo/target/debug/deps/e2e_counter-965ec55f405712ee: tests/e2e_counter.rs
+
+tests/e2e_counter.rs:

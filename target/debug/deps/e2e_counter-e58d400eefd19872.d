@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_counter-e58d400eefd19872.d: tests/e2e_counter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_counter-e58d400eefd19872.rmeta: tests/e2e_counter.rs Cargo.toml
+
+tests/e2e_counter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

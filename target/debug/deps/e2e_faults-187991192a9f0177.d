@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_faults-187991192a9f0177.d: tests/e2e_faults.rs
+
+/root/repo/target/debug/deps/e2e_faults-187991192a9f0177: tests/e2e_faults.rs
+
+tests/e2e_faults.rs:

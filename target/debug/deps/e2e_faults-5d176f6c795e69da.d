@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_faults-5d176f6c795e69da.d: tests/e2e_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_faults-5d176f6c795e69da.rmeta: tests/e2e_faults.rs Cargo.toml
+
+tests/e2e_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_protocols-144e239d3dc5b937.d: tests/e2e_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_protocols-144e239d3dc5b937.rmeta: tests/e2e_protocols.rs Cargo.toml
+
+tests/e2e_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

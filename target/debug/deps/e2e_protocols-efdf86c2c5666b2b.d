@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_protocols-efdf86c2c5666b2b.d: tests/e2e_protocols.rs
+
+/root/repo/target/debug/deps/e2e_protocols-efdf86c2c5666b2b: tests/e2e_protocols.rs
+
+tests/e2e_protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_total_order-addef72b960d607f.d: tests/e2e_total_order.rs
+
+/root/repo/target/debug/deps/e2e_total_order-addef72b960d607f: tests/e2e_total_order.rs
+
+tests/e2e_total_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_total_order-f35b7305424cecdf.d: tests/e2e_total_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_total_order-f35b7305424cecdf.rmeta: tests/e2e_total_order.rs Cargo.toml
+
+tests/e2e_total_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

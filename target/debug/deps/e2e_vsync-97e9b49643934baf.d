@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e_vsync-97e9b49643934baf.d: tests/e2e_vsync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e_vsync-97e9b49643934baf.rmeta: tests/e2e_vsync.rs Cargo.toml
+
+tests/e2e_vsync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_vsync-cb176964a8e65a94.d: tests/e2e_vsync.rs
+
+/root/repo/target/debug/deps/e2e_vsync-cb176964a8e65a94: tests/e2e_vsync.rs
+
+tests/e2e_vsync.rs:

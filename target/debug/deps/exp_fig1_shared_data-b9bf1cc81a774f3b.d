@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_shared_data-b9bf1cc81a774f3b.d: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+/root/repo/target/debug/deps/exp_fig1_shared_data-b9bf1cc81a774f3b: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+crates/bench/src/bin/exp_fig1_shared_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_scenario-f221b6b8544ee6c7.d: crates/bench/src/bin/exp_fig2_scenario.rs
+
+/root/repo/target/debug/deps/exp_fig2_scenario-f221b6b8544ee6c7: crates/bench/src/bin/exp_fig2_scenario.rs
+
+crates/bench/src/bin/exp_fig2_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_graphs-3167c1fad24879ae.d: crates/bench/src/bin/exp_fig3_graphs.rs
+
+/root/repo/target/debug/deps/exp_fig3_graphs-3167c1fad24879ae: crates/bench/src/bin/exp_fig3_graphs.rs
+
+crates/bench/src/bin/exp_fig3_graphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_total_order-bc732eb855a9fcd9.d: crates/bench/src/bin/exp_fig4_total_order.rs
+
+/root/repo/target/debug/deps/exp_fig4_total_order-bc732eb855a9fcd9: crates/bench/src/bin/exp_fig4_total_order.rs
+
+crates/bench/src/bin/exp_fig4_total_order.rs:

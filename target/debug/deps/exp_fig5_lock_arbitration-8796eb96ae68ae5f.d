@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_lock_arbitration-8796eb96ae68ae5f.d: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+/root/repo/target/debug/deps/exp_fig5_lock_arbitration-8796eb96ae68ae5f: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+crates/bench/src/bin/exp_fig5_lock_arbitration.rs:

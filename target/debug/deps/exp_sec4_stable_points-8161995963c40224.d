@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec4_stable_points-8161995963c40224.d: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+/root/repo/target/debug/deps/exp_sec4_stable_points-8161995963c40224: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+crates/bench/src/bin/exp_sec4_stable_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec52_name_service-34706c190445a9cb.d: crates/bench/src/bin/exp_sec52_name_service.rs
+
+/root/repo/target/debug/deps/exp_sec52_name_service-34706c190445a9cb: crates/bench/src/bin/exp_sec52_name_service.rs
+
+crates/bench/src/bin/exp_sec52_name_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec61_commutativity-0e52077a314f6cc7.d: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+/root/repo/target/debug/deps/exp_sec61_commutativity-0e52077a314f6cc7: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:

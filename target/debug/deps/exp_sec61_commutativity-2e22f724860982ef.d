@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec61_commutativity-2e22f724860982ef.d: crates/bench/src/bin/exp_sec61_commutativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec61_commutativity-2e22f724860982ef.rmeta: crates/bench/src/bin/exp_sec61_commutativity.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_ops-cb9f2ae2adf7cd34.d: crates/bench/benches/graph_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_ops-cb9f2ae2adf7cd34.rmeta: crates/bench/benches/graph_ops.rs Cargo.toml
+
+crates/bench/benches/graph_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

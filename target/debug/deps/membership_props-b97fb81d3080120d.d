@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/membership_props-b97fb81d3080120d.d: crates/membership/tests/membership_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership_props-b97fb81d3080120d.rmeta: crates/membership/tests/membership_props.rs Cargo.toml
+
+crates/membership/tests/membership_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

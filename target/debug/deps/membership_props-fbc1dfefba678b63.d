@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership_props-fbc1dfefba678b63.d: crates/membership/tests/membership_props.rs
+
+/root/repo/target/debug/deps/membership_props-fbc1dfefba678b63: crates/membership/tests/membership_props.rs
+
+crates/membership/tests/membership_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/membership_sim-2992c77d4c1ff766.d: tests/membership_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership_sim-2992c77d4c1ff766.rmeta: tests/membership_sim.rs Cargo.toml
+
+tests/membership_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership_sim-2aa01637d5df59cb.d: tests/membership_sim.rs
+
+/root/repo/target/debug/deps/membership_sim-2aa01637d5df59cb: tests/membership_sim.rs
+
+tests/membership_sim.rs:

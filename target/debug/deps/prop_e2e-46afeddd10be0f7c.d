@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_e2e-46afeddd10be0f7c.d: tests/prop_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_e2e-46afeddd10be0f7c.rmeta: tests/prop_e2e.rs Cargo.toml
+
+tests/prop_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

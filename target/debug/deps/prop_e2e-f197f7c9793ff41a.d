@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_e2e-f197f7c9793ff41a.d: tests/prop_e2e.rs
+
+/root/repo/target/debug/deps/prop_e2e-f197f7c9793ff41a: tests/prop_e2e.rs
+
+tests/prop_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_props-7c8fb77606c93cd5.d: crates/replica/tests/protocol_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_props-7c8fb77606c93cd5.rmeta: crates/replica/tests/protocol_props.rs Cargo.toml
+
+crates/replica/tests/protocol_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

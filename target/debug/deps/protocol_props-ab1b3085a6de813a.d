@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_props-ab1b3085a6de813a.d: crates/replica/tests/protocol_props.rs
+
+/root/repo/target/debug/deps/protocol_props-ab1b3085a6de813a: crates/replica/tests/protocol_props.rs
+
+crates/replica/tests/protocol_props.rs:

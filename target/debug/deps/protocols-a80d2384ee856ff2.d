@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-a80d2384ee856ff2.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-a80d2384ee856ff2.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

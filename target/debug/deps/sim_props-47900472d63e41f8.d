@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-47900472d63e41f8.d: crates/simnet/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-47900472d63e41f8: crates/simnet/tests/sim_props.rs
+
+crates/simnet/tests/sim_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_props-e9d91190a0bea134.d: crates/simnet/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-e9d91190a0bea134.rmeta: crates/simnet/tests/sim_props.rs Cargo.toml
+
+crates/simnet/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

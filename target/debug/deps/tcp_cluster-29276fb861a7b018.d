@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_cluster-29276fb861a7b018.d: tests/tcp_cluster.rs
+
+/root/repo/target/debug/deps/tcp_cluster-29276fb861a7b018: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

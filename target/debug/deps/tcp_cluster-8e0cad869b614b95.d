@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_cluster-8e0cad869b614b95.d: tests/tcp_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_cluster-8e0cad869b614b95.rmeta: tests/tcp_cluster.rs Cargo.toml
+
+tests/tcp_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_runtime-bc2ec5e2de4e1bc3.d: tests/threaded_runtime.rs
+
+/root/repo/target/debug/deps/threaded_runtime-bc2ec5e2de4e1bc3: tests/threaded_runtime.rs
+
+tests/threaded_runtime.rs:

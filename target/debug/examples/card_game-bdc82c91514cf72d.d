@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/card_game-bdc82c91514cf72d.d: examples/card_game.rs
+
+/root/repo/target/debug/examples/card_game-bdc82c91514cf72d: examples/card_game.rs
+
+examples/card_game.rs:

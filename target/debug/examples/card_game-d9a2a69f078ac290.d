@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/card_game-d9a2a69f078ac290.d: examples/card_game.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcard_game-d9a2a69f078ac290.rmeta: examples/card_game.rs Cargo.toml
+
+examples/card_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

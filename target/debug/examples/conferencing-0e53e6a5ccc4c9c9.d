@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conferencing-0e53e6a5ccc4c9c9.d: examples/conferencing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconferencing-0e53e6a5ccc4c9c9.rmeta: examples/conferencing.rs Cargo.toml
+
+examples/conferencing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conferencing-8a87c1d4e2372673.d: examples/conferencing.rs
+
+/root/repo/target/debug/examples/conferencing-8a87c1d4e2372673: examples/conferencing.rs
+
+examples/conferencing.rs:

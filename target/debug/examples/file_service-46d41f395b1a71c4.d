@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/file_service-46d41f395b1a71c4.d: examples/file_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfile_service-46d41f395b1a71c4.rmeta: examples/file_service.rs Cargo.toml
+
+examples/file_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

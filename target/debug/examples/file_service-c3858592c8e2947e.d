@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_service-c3858592c8e2947e.d: examples/file_service.rs
+
+/root/repo/target/debug/examples/file_service-c3858592c8e2947e: examples/file_service.rs
+
+examples/file_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_arbitration-2f4d5d5891d82bcd.d: examples/lock_arbitration.rs
+
+/root/repo/target/debug/examples/lock_arbitration-2f4d5d5891d82bcd: examples/lock_arbitration.rs
+
+examples/lock_arbitration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_arbitration-d0d51bbc7b17a01c.d: examples/lock_arbitration.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_arbitration-d0d51bbc7b17a01c.rmeta: examples/lock_arbitration.rs Cargo.toml
+
+examples/lock_arbitration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

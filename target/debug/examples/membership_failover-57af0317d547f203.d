@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/membership_failover-57af0317d547f203.d: examples/membership_failover.rs
+
+/root/repo/target/debug/examples/membership_failover-57af0317d547f203: examples/membership_failover.rs
+
+examples/membership_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/membership_failover-b7e2fec69350ac21.d: examples/membership_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmembership_failover-b7e2fec69350ac21.rmeta: examples/membership_failover.rs Cargo.toml
+
+examples/membership_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

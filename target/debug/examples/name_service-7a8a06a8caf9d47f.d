@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/name_service-7a8a06a8caf9d47f.d: examples/name_service.rs
+
+/root/repo/target/debug/examples/name_service-7a8a06a8caf9d47f: examples/name_service.rs
+
+examples/name_service.rs:

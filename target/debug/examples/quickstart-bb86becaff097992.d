@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bb86becaff097992.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bb86becaff097992: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_counter-2ea980d784e71a7b.d: examples/tcp_counter.rs
+
+/root/repo/target/debug/examples/tcp_counter-2ea980d784e71a7b: examples/tcp_counter.rs
+
+examples/tcp_counter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tcp_counter-b7213d74f63c04ed.d: examples/tcp_counter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_counter-b7213d74f63c04ed.rmeta: examples/tcp_counter.rs Cargo.toml
+
+examples/tcp_counter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

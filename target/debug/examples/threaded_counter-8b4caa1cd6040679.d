@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_counter-8b4caa1cd6040679.d: examples/threaded_counter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_counter-8b4caa1cd6040679.rmeta: examples/threaded_counter.rs Cargo.toml
+
+examples/threaded_counter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

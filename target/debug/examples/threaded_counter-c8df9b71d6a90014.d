@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_counter-c8df9b71d6a90014.d: examples/threaded_counter.rs
+
+/root/repo/target/debug/examples/threaded_counter-c8df9b71d6a90014: examples/threaded_counter.rs
+
+examples/threaded_counter.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/causal_broadcast-19a8376a46ea0bf1.d: src/lib.rs
+
+/root/repo/target/release/deps/libcausal_broadcast-19a8376a46ea0bf1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcausal_broadcast-19a8376a46ea0bf1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/causal_clocks-7002eef09ad7e4d2.d: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/release/deps/libcausal_clocks-7002eef09ad7e4d2.rlib: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/release/deps/libcausal_clocks-7002eef09ad7e4d2.rmeta: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+crates/clocks/src/lib.rs:
+crates/clocks/src/ids.rs:
+crates/clocks/src/lamport.rs:
+crates/clocks/src/matrix.rs:
+crates/clocks/src/ordering.rs:
+crates/clocks/src/vector.rs:

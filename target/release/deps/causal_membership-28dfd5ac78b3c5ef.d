@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/causal_membership-28dfd5ac78b3c5ef.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libcausal_membership-28dfd5ac78b3c5ef.rlib: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libcausal_membership-28dfd5ac78b3c5ef.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/manager.rs:
+crates/membership/src/view.rs:

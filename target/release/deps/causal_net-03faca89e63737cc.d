@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/causal_net-03faca89e63737cc.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libcausal_net-03faca89e63737cc.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libcausal_net-03faca89e63737cc.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/config.rs:
+crates/net/src/conn.rs:
+crates/net/src/frame.rs:
+crates/net/src/node.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/causal_replica-76cc078a58513025.d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/release/deps/libcausal_replica-76cc078a58513025.rlib: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/release/deps/libcausal_replica-76cc078a58513025.rmeta: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/baseline.rs:
+crates/replica/src/cardgame.rs:
+crates/replica/src/counter.rs:
+crates/replica/src/document.rs:
+crates/replica/src/fileservice.rs:
+crates/replica/src/frontend.rs:
+crates/replica/src/lock.rs:
+crates/replica/src/registry.rs:

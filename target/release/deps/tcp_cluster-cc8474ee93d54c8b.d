@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tcp_cluster-cc8474ee93d54c8b.d: tests/tcp_cluster.rs
+
+/root/repo/target/release/deps/tcp_cluster-cc8474ee93d54c8b: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-faf792e0d3757717.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-faf792e0d3757717: examples/quickstart.rs
+
+examples/quickstart.rs:

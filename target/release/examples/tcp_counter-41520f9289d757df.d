@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tcp_counter-41520f9289d757df.d: examples/tcp_counter.rs
+
+/root/repo/target/release/examples/tcp_counter-41520f9289d757df: examples/tcp_counter.rs
+
+examples/tcp_counter.rs:

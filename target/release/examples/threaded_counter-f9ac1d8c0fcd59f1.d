@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_counter-f9ac1d8c0fcd59f1.d: examples/threaded_counter.rs
+
+/root/repo/target/release/examples/threaded_counter-f9ac1d8c0fcd59f1: examples/threaded_counter.rs
+
+examples/threaded_counter.rs:

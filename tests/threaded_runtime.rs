@@ -1,5 +1,5 @@
 //! The protocol stack on real OS threads: the same `CausalNode` state
-//! machines the simulator drives, over crossbeam channels, under real
+//! machines the simulator drives, over in-process channels, under real
 //! nondeterministic interleavings.
 
 use causal_broadcast::prelude::*;
