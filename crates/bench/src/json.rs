@@ -1,0 +1,130 @@
+//! Minimal JSON emission for the committed `BENCH_*.json` artifacts.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! bench bins hand-roll the small amount of JSON they need instead of
+//! pulling in a serializer. Field order is emission order, which keeps
+//! the committed artifacts diff-stable across runs.
+
+use std::fmt::Write as _;
+
+/// Builder for one JSON object. Fields appear in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field (value is escaped).
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_owned(), quote(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field, rounded to six decimals with trailing zeros
+    /// trimmed (JSON has no infinities or NaN; callers must pass finite
+    /// values).
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "JSON cannot represent {value}");
+        let mut text = format!("{value:.6}");
+        while text.ends_with('0') {
+            text.pop();
+        }
+        if text.ends_with('.') {
+            text.push('0');
+        }
+        self.fields.push((key.to_owned(), text));
+        self
+    }
+
+    /// Adds an already-rendered JSON value (nested object or array).
+    #[must_use]
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Renders the object with two-space indentation at `indent` levels.
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent + 1);
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "{pad}{}: {value}{comma}", quote(key));
+        }
+        let _ = write!(out, "{}}}", "  ".repeat(indent));
+        out
+    }
+}
+
+/// Renders a JSON array of pre-rendered values at `indent` levels.
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_owned();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        let comma = if i + 1 < items.len() { "," } else { "" };
+        let _ = writeln!(out, "{pad}{item}{comma}");
+    }
+    let _ = write!(out, "{}]", "  ".repeat(indent));
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let inner = JsonObject::new().str("name", "x\"y").u64("count", 3);
+        let doc = JsonObject::new()
+            .str("bench", "demo")
+            .f64("ratio", 2.5)
+            .raw("items", array(&[inner.render(1)], 1));
+        let text = doc.render(0);
+        assert!(text.contains("\"bench\": \"demo\""));
+        assert!(text.contains("\"ratio\": 2.5"));
+        assert!(text.contains("\\\"y\""));
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_array_is_compact() {
+        assert_eq!(array(&[], 0), "[]");
+    }
+}

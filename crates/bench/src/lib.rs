@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod json;
 pub mod scenarios;
 pub mod table;
 pub mod workload;

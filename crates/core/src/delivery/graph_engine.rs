@@ -19,6 +19,15 @@ use std::collections::{HashMap, HashSet};
 /// `R(M)` ([`graph`](GraphDelivery::graph)), which stable-point detection
 /// and the validators consume.
 ///
+/// Cascading releases are driven by per-message missing-dependency
+/// counters: each delivery decrements the counters of its registered
+/// waiters and releases those that reach zero, so a cascade costs
+/// O(released + waiter registrations touched) rather than re-checking
+/// every dependency of every waiter. The seed full-rescan implementation
+/// is preserved as
+/// [`reference::ScanGraphDelivery`](crate::delivery::reference::ScanGraphDelivery)
+/// and the equivalence proptests pin this engine to its delivery order.
+///
 /// # Examples
 ///
 /// ```
@@ -45,6 +54,9 @@ pub struct GraphDelivery<P> {
     pending: HashMap<MsgId, GraphEnvelope<P>>,
     /// Reverse index: an undelivered dependency -> messages waiting on it.
     waiters: HashMap<MsgId, Vec<MsgId>>,
+    /// Outstanding waiter registrations per pending message; a message is
+    /// released when its count reaches zero.
+    missing: HashMap<MsgId, usize>,
     /// Ids ever accepted (delivered or pending) for duplicate absorption.
     seen: HashSet<MsgId>,
     duplicates: u64,
@@ -65,6 +77,7 @@ impl<P> GraphDelivery<P> {
             graph: MsgGraph::new(),
             pending: HashMap::new(),
             waiters: HashMap::new(),
+            missing: HashMap::new(),
             seen: HashSet::new(),
             duplicates: 0,
             compacted: None,
@@ -146,6 +159,7 @@ impl<P> GraphDelivery<P> {
             for &d in &missing {
                 self.waiters.entry(d).or_default().push(env.id);
             }
+            self.missing.insert(env.id, missing.len());
             self.pending.insert(env.id, env);
             Vec::new()
         }
@@ -159,31 +173,47 @@ impl<P> GraphDelivery<P> {
                 .add(env.id, &env.deps)
                 .expect("dependencies delivered before dependents");
         }
+        // Count the delivery against every waiter registered on this id
+        // now (registrations are only consumed later, when the cascade
+        // reaches this message), so a waiter's counter always reflects the
+        // full delivered set — exactly what the reference engine's re-check
+        // against `delivered` sees.
+        if let Some(waiters) = self.waiters.remove(&env.id) {
+            for &w in &waiters {
+                if let Some(cnt) = self.missing.get_mut(&w) {
+                    *cnt -= 1;
+                }
+            }
+            self.waiters.insert(env.id, waiters);
+        }
         env
     }
 
     /// Releases any pending messages whose last dependency just arrived,
-    /// transitively.
+    /// transitively. Counters are decremented in [`deliver`](Self::deliver)
+    /// the instant a message lands; this pass walks the released messages
+    /// in FIFO order and emits each waiter whose counter has reached zero
+    /// at its earliest registration encounter — the same release order as
+    /// the reference engine's full dependency re-check, without ever
+    /// re-checking a dependency (each registration is touched twice: one
+    /// decrement, one readiness glance).
     fn cascade(&mut self, released: &mut Vec<GraphEnvelope<P>>) {
         let mut i = released.len() - 1;
-        loop {
+        while i < released.len() {
             let just = released[i].id;
             if let Some(waiters) = self.waiters.remove(&just) {
                 for w in waiters {
-                    let ready = match self.pending.get(&w) {
-                        Some(env) => env.deps.iter().all(|&d| self.is_satisfied(d)),
-                        None => false, // already released via another path
-                    };
-                    if ready {
-                        let env = self.pending.remove(&w).expect("checked above");
+                    if self.missing.get(&w) == Some(&0) {
+                        self.missing.remove(&w);
+                        let env = self
+                            .pending
+                            .remove(&w)
+                            .expect("pending entry exists while deps are missing");
                         released.push(self.deliver(env));
                     }
                 }
             }
             i += 1;
-            if i >= released.len() {
-                break;
-            }
         }
     }
 

@@ -13,9 +13,14 @@
 //!
 //! Two weaker engines serve as baselines: [`FifoDelivery`] (per-sender
 //! order only) and no engine at all (process on receipt).
+//!
+//! The [`reference`] module preserves the seed (pre-indexing)
+//! implementations of both causal engines for differential testing and
+//! benchmarking; protocol code should never use them.
 
 mod fifo;
 mod graph_engine;
+pub mod reference;
 mod vector_engine;
 
 pub use fifo::{FifoDelivery, FifoEnvelope};

@@ -1,0 +1,289 @@
+//! Reference (pre-indexing) delivery engines, preserved verbatim from the
+//! seed implementation.
+//!
+//! These exist for two reasons. The equivalence proptests in
+//! `crates/core/tests/core_props.rs` feed identical randomized schedules
+//! (drops, duplicates, reorders) to an indexed engine and its reference
+//! twin and require **byte-identical delivery logs** — the indexed
+//! rewrites are pure data-structure changes, not behavior changes. And the
+//! `bench_hotpath` bin measures the indexed engines against these to keep
+//! the speedup claim in `BENCH_delivery.json` honest.
+//!
+//! Do not use these in protocol code: their drains rescan the whole
+//! pending buffer after every delivery, which is O(pending) per delivery
+//! and quadratic under out-of-order bursts.
+
+use crate::osend::GraphEnvelope;
+use causal_clocks::{DeliveryCheck, MsgId, ProcessId, VectorClock};
+use std::collections::{HashMap, HashSet};
+
+use super::VtEnvelope;
+
+/// The seed CBCAST engine: a flat pending `Vec` rescanned linearly after
+/// every delivery.
+///
+/// Functionally identical to [`CbcastEngine`](super::CbcastEngine) — same
+/// delivery order, same log, same duplicate accounting — just O(pending)
+/// per delivery instead of O(woken).
+#[derive(Debug, Clone)]
+pub struct FlatCbcastEngine<P> {
+    me: ProcessId,
+    vt: VectorClock,
+    pending: Vec<VtEnvelope<P>>,
+    log: Vec<MsgId>,
+    duplicates: u64,
+}
+
+impl<P> FlatCbcastEngine<P> {
+    /// Creates the engine for member `me` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        assert!(me.as_usize() < n, "member id outside group");
+        FlatCbcastEngine {
+            me,
+            vt: VectorClock::new(n),
+            pending: Vec::new(),
+            log: Vec::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Stamps a broadcast exactly like
+    /// [`CbcastEngine::broadcast`](super::CbcastEngine::broadcast).
+    pub fn broadcast(&mut self, payload: P) -> VtEnvelope<P>
+    where
+        P: Clone,
+    {
+        let seq = self.vt.increment(self.me);
+        let id = MsgId::new(self.me, seq);
+        self.log.push(id);
+        VtEnvelope {
+            id,
+            vt: self.vt.clone(),
+            payload,
+        }
+    }
+
+    /// Accepts an envelope; returns the envelopes released in causal order.
+    pub fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
+        let mut released = Vec::new();
+        match self.vt.delivery_check(&env.vt, env.id.origin()) {
+            DeliveryCheck::Deliverable => {
+                self.deliver(env, &mut released);
+                self.drain_pending(&mut released);
+            }
+            DeliveryCheck::Duplicate => {
+                self.duplicates += 1;
+            }
+            DeliveryCheck::MissingFromSender { .. } | DeliveryCheck::MissingPredecessor { .. } => {
+                // Absorb duplicates of already-buffered messages too —
+                // via the linear scan this module exists to preserve.
+                if self.pending.iter().any(|p| p.id == env.id) {
+                    self.duplicates += 1;
+                } else {
+                    self.pending.push(env);
+                }
+            }
+        }
+        released
+    }
+
+    fn deliver(&mut self, env: VtEnvelope<P>, released: &mut Vec<VtEnvelope<P>>) {
+        self.vt.apply_delivery(&env.vt);
+        self.log.push(env.id);
+        released.push(env);
+    }
+
+    fn drain_pending(&mut self, released: &mut Vec<VtEnvelope<P>>) {
+        loop {
+            let idx = self.pending.iter().position(|p| {
+                self.vt.delivery_check(&p.vt, p.id.origin()) == DeliveryCheck::Deliverable
+            });
+            match idx {
+                Some(i) => {
+                    let env = self.pending.remove(i);
+                    self.deliver(env, released);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The member's current vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vt
+    }
+
+    /// The delivery log (own broadcasts included at their send position).
+    pub fn log(&self) -> &[MsgId] {
+        &self.log
+    }
+
+    /// Number of messages buffered awaiting causal predecessors.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Duplicate receptions absorbed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+/// The seed explicit-graph engine: a cascade that re-checks **every**
+/// dependency of every registered waiter after each delivery.
+///
+/// Delivery order and duplicate accounting match
+/// [`GraphDelivery`](super::GraphDelivery); graph maintenance and
+/// compaction are omitted (they do not affect delivery order).
+#[derive(Debug, Clone)]
+pub struct ScanGraphDelivery<P> {
+    delivered: HashSet<MsgId>,
+    log: Vec<MsgId>,
+    pending: HashMap<MsgId, GraphEnvelope<P>>,
+    waiters: HashMap<MsgId, Vec<MsgId>>,
+    seen: HashSet<MsgId>,
+    duplicates: u64,
+}
+
+impl<P> ScanGraphDelivery<P> {
+    /// Creates an engine with nothing delivered.
+    pub fn new() -> Self {
+        ScanGraphDelivery {
+            delivered: HashSet::new(),
+            log: Vec::new(),
+            pending: HashMap::new(),
+            waiters: HashMap::new(),
+            seen: HashSet::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Accepts an envelope; returns the envelopes released in delivery
+    /// order.
+    pub fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
+        if !self.seen.insert(env.id) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        let missing: Vec<MsgId> = env
+            .deps
+            .iter()
+            .copied()
+            .filter(|&d| !self.delivered.contains(&d))
+            .collect();
+        if missing.is_empty() {
+            let mut released = vec![self.deliver(env)];
+            self.cascade(&mut released);
+            released
+        } else {
+            for &d in &missing {
+                self.waiters.entry(d).or_default().push(env.id);
+            }
+            self.pending.insert(env.id, env);
+            Vec::new()
+        }
+    }
+
+    fn deliver(&mut self, env: GraphEnvelope<P>) -> GraphEnvelope<P> {
+        self.delivered.insert(env.id);
+        self.log.push(env.id);
+        env
+    }
+
+    fn cascade(&mut self, released: &mut Vec<GraphEnvelope<P>>) {
+        let mut i = released.len() - 1;
+        while i < released.len() {
+            let just = released[i].id;
+            if let Some(waiters) = self.waiters.remove(&just) {
+                for w in waiters {
+                    let ready = match self.pending.get(&w) {
+                        Some(env) => env.deps.iter().all(|&d| self.delivered.contains(&d)),
+                        None => false, // already released via another path
+                    };
+                    if ready {
+                        let env = self.pending.remove(&w).expect("checked above");
+                        released.push(self.deliver(env));
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// The delivery log: message ids in the order they were released.
+    pub fn log(&self) -> &[MsgId] {
+        &self.log
+    }
+
+    /// Number of messages buffered awaiting dependencies.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Duplicate receptions absorbed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+impl<P> Default for ScanGraphDelivery<P> {
+    fn default() -> Self {
+        ScanGraphDelivery::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delivery::{CbcastEngine, GraphDelivery};
+    use crate::osend::{OSender, OccursAfter};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn flat_engine_matches_indexed_on_reversed_stream() {
+        let mut tx_flat = FlatCbcastEngine::new(p(0), 2);
+        let mut tx_idx = CbcastEngine::new(p(0), 2);
+        let msgs: Vec<_> = (0..40).map(|k| tx_flat.broadcast(k)).collect();
+        for k in 0..40 {
+            tx_idx.broadcast(k);
+        }
+        let mut flat = FlatCbcastEngine::new(p(1), 2);
+        let mut idx = CbcastEngine::new(p(1), 2);
+        for m in msgs.iter().rev() {
+            let a = flat.on_receive(m.clone());
+            let b = idx.on_receive(m.clone());
+            assert_eq!(a, b);
+        }
+        assert_eq!(flat.log(), idx.log());
+        assert_eq!(flat.duplicates(), idx.duplicates());
+    }
+
+    #[test]
+    fn scan_engine_matches_indexed_on_reversed_chain() {
+        let mut tx = OSender::new(p(0));
+        let mut prev = None;
+        let envs: Vec<_> = (0..40u8)
+            .map(|k| {
+                let after = prev.map_or(OccursAfter::none(), OccursAfter::message);
+                let env = tx.osend(k, after);
+                prev = Some(env.id);
+                env
+            })
+            .collect();
+        let mut scan = ScanGraphDelivery::new();
+        let mut idx = GraphDelivery::new();
+        for e in envs.iter().rev() {
+            let a: Vec<_> = scan.on_receive(e.clone()).iter().map(|e| e.id).collect();
+            let b: Vec<_> = idx.on_receive(e.clone()).iter().map(|e| e.id).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(scan.log(), idx.log());
+    }
+}

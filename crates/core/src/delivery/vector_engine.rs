@@ -1,6 +1,8 @@
 //! Vector-clock causal delivery (ISIS CBCAST-style).
 
 use causal_clocks::{DeliveryCheck, MsgId, ProcessId, VectorClock};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A broadcast message stamped with its sender's vector clock at send time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,6 +13,15 @@ pub struct VtEnvelope<P> {
     pub vt: VectorClock,
     /// The application payload.
     pub payload: P,
+}
+
+/// A buffered out-of-order envelope, stamped with its arrival rank so the
+/// drain releases simultaneously deliverable messages in arrival order
+/// (the order the seed engine's linear rescan produced).
+#[derive(Debug, Clone)]
+struct Buffered<P> {
+    arrival: u64,
+    env: VtEnvelope<P>,
 }
 
 /// Per-member CBCAST engine: causal delivery from *potential* causality.
@@ -26,6 +37,19 @@ pub struct VtEnvelope<P> {
 /// (incidental ordering). The ablation benches compare it against the
 /// explicit-graph engine, which carries only the application's declared
 /// (semantic) ordering.
+///
+/// # Buffer indexing
+///
+/// Out-of-order messages are buffered in **per-origin queues** keyed by
+/// sequence number, and each queue head registers the single vector-clock
+/// entry it is currently waiting on. A delivery therefore wakes only the
+/// heads that could actually have become deliverable instead of rescanning
+/// the whole buffer: drain cost is O(released + woken), not O(pending) per
+/// delivery, which is what lets the engine absorb large out-of-order
+/// bursts (see `DESIGN.md`, "Hot paths & benchmarking"). The seed
+/// implementation with a flat rescan is preserved as
+/// [`reference::FlatCbcastEngine`](crate::delivery::reference::FlatCbcastEngine)
+/// and the equivalence proptests pin this engine to its delivery order.
 ///
 /// # Examples
 ///
@@ -48,7 +72,22 @@ pub struct VtEnvelope<P> {
 pub struct CbcastEngine<P> {
     me: ProcessId,
     vt: VectorClock,
-    pending: Vec<VtEnvelope<P>>,
+    /// Per-origin out-of-order buffers keyed by sequence number. Only a
+    /// queue's head (lowest seq) can ever be deliverable, so each origin
+    /// contributes at most one delivery candidate.
+    queues: Vec<BTreeMap<u64, Buffered<P>>>,
+    /// `blocked[k]`: the `(process, entry value)` the head of origin `k`'s
+    /// queue is currently registered as waiting for, if any.
+    blocked: Vec<Option<(ProcessId, u64)>>,
+    /// `waiters[j]`: heads waiting for `vt[j]` to reach a threshold, as
+    /// `Reverse((threshold, waiting origin))`. Entries are validated
+    /// against `blocked` when popped, so superseded registrations are
+    /// dropped lazily instead of being removed eagerly.
+    waiters: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    /// Total buffered envelopes across all queues.
+    buffered: usize,
+    /// Monotone arrival stamp for drain-order tie-breaking.
+    arrivals: u64,
     log: Vec<MsgId>,
     duplicates: u64,
 }
@@ -64,7 +103,11 @@ impl<P> CbcastEngine<P> {
         CbcastEngine {
             me,
             vt: VectorClock::new(n),
-            pending: Vec::new(),
+            queues: (0..n).map(|_| BTreeMap::new()).collect(),
+            blocked: vec![None; n],
+            waiters: (0..n).map(|_| BinaryHeap::new()).collect(),
+            buffered: 0,
+            arrivals: 0,
             log: Vec::new(),
             duplicates: 0,
         }
@@ -93,22 +136,41 @@ impl<P> CbcastEngine<P> {
         let mut released = Vec::new();
         match self.vt.delivery_check(&env.vt, env.id.origin()) {
             DeliveryCheck::Deliverable => {
+                let origin = env.id.origin();
                 self.deliver(env, &mut released);
-                self.drain_pending(&mut released);
+                self.drain_from(origin, &mut released);
             }
             DeliveryCheck::Duplicate => {
                 self.duplicates += 1;
             }
             DeliveryCheck::MissingFromSender { .. } | DeliveryCheck::MissingPredecessor { .. } => {
-                // Absorb duplicates of already-buffered messages too.
-                if self.pending.iter().any(|p| p.id == env.id) {
-                    self.duplicates += 1;
-                } else {
-                    self.pending.push(env);
-                }
+                self.buffer(env);
             }
         }
         released
+    }
+
+    /// Buffers a non-deliverable envelope in its origin's queue,
+    /// absorbing duplicates of already-buffered ids in O(log queue).
+    fn buffer(&mut self, env: VtEnvelope<P>) {
+        let origin = env.id.origin();
+        let seq = env.id.seq();
+        let queue = &mut self.queues[origin.as_usize()];
+        if queue.contains_key(&seq) {
+            self.duplicates += 1;
+            return;
+        }
+        let new_head = queue.keys().next().is_none_or(|&head| seq < head);
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        queue.insert(seq, Buffered { arrival, env });
+        self.buffered += 1;
+        if new_head {
+            // A freshly arrived envelope is never deliverable (otherwise
+            // on_receive would have delivered it), so this only
+            // re-registers the queue's blocker.
+            self.check_head(origin);
+        }
     }
 
     fn deliver(&mut self, env: VtEnvelope<P>, released: &mut Vec<VtEnvelope<P>>) {
@@ -117,17 +179,86 @@ impl<P> CbcastEngine<P> {
         released.push(env);
     }
 
-    fn drain_pending(&mut self, released: &mut Vec<VtEnvelope<P>>) {
+    /// Re-examines the head of `origin`'s queue: returns its arrival
+    /// stamp if it is deliverable, otherwise registers the single entry
+    /// it waits on and returns `None`.
+    fn check_head(&mut self, origin: ProcessId) -> Option<u64> {
         loop {
-            let idx = self.pending.iter().position(|p| {
-                self.vt.delivery_check(&p.vt, p.id.origin()) == DeliveryCheck::Deliverable
-            });
-            match idx {
-                Some(i) => {
-                    let env = self.pending.remove(i);
-                    self.deliver(env, released);
+            let k = origin.as_usize();
+            let Some((_, head)) = self.queues[k].iter().next() else {
+                self.blocked[k] = None;
+                return None;
+            };
+            match self.vt.delivery_check(&head.env.vt, origin) {
+                DeliveryCheck::Deliverable => {
+                    self.blocked[k] = None;
+                    return Some(head.arrival);
                 }
-                None => break,
+                DeliveryCheck::MissingFromSender { got, .. } => {
+                    // Deliverable once vt[origin] reaches got - 1.
+                    self.block_on(origin, origin, got - 1);
+                    return None;
+                }
+                DeliveryCheck::MissingPredecessor { process, need, .. } => {
+                    self.block_on(origin, process, need);
+                    return None;
+                }
+                DeliveryCheck::Duplicate => {
+                    // Unreachable in steady state (the clock cannot pass a
+                    // buffered sequence number without delivering it), but
+                    // absorb defensively rather than wedge the queue.
+                    self.queues[k].pop_first();
+                    self.buffered -= 1;
+                    self.duplicates += 1;
+                }
+            }
+        }
+    }
+
+    fn block_on(&mut self, origin: ProcessId, blocker: ProcessId, need: u64) {
+        self.blocked[origin.as_usize()] = Some((blocker, need));
+        self.waiters[blocker.as_usize()].push(Reverse((need, origin.as_u32())));
+    }
+
+    /// Releases everything made deliverable by a delivery from `origin`,
+    /// waking only registered heads whose threshold has been reached.
+    /// Simultaneously deliverable heads release in arrival order, matching
+    /// the seed engine's linear-rescan drain.
+    fn drain_from(&mut self, origin: ProcessId, released: &mut Vec<VtEnvelope<P>>) {
+        // (arrival, origin) of heads known deliverable but not yet popped.
+        let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Origins whose vector-clock entry advanced since last wake pass.
+        let mut advanced = vec![origin];
+        loop {
+            while let Some(j) = advanced.pop() {
+                let v = self.vt.get(j);
+                while let Some(&Reverse((need, k))) = self.waiters[j.as_usize()].peek() {
+                    if need > v {
+                        break;
+                    }
+                    self.waiters[j.as_usize()].pop();
+                    let k = ProcessId::new(k);
+                    if self.blocked[k.as_usize()] != Some((j, need)) {
+                        continue; // superseded registration
+                    }
+                    if let Some(arrival) = self.check_head(k) {
+                        ready.push(Reverse((arrival, k.as_u32())));
+                    }
+                }
+            }
+            let Some(Reverse((_, k))) = ready.pop() else {
+                break;
+            };
+            let k = ProcessId::new(k);
+            let (_, head) = self.queues[k.as_usize()]
+                .pop_first()
+                .expect("ready origin has a queued head");
+            self.buffered -= 1;
+            self.deliver(head.env, released);
+            advanced.push(k);
+            // The next message in k's queue was never examined as a head.
+            if let Some(arrival) = self.check_head(k) {
+                ready.push(Reverse((arrival, k.as_u32())));
             }
         }
     }
@@ -144,7 +275,7 @@ impl<P> CbcastEngine<P> {
 
     /// Number of messages buffered awaiting causal predecessors.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.buffered
     }
 
     /// Duplicate receptions absorbed.
@@ -258,6 +389,47 @@ mod tests {
         p1.on_receive(a.clone());
         let b = p1.broadcast('b');
         assert!(a.vt.precedes(&b.vt));
+    }
+
+    #[test]
+    fn deep_reorder_cascades_in_sequence_order() {
+        // A whole sender stream arriving reversed: the last arrival must
+        // release every buffered message, in sequence order, through the
+        // per-origin queue (the indexed engine's worst-case burst).
+        let mut tx = CbcastEngine::new(p(0), 2);
+        let mut rx = CbcastEngine::new(p(1), 2);
+        let msgs: Vec<_> = (0..50).map(|k| tx.broadcast(k)).collect();
+        for m in msgs.iter().skip(1).rev() {
+            assert!(rx.on_receive(m.clone()).is_empty());
+        }
+        assert_eq!(rx.pending_len(), 49);
+        let out = rx.on_receive(msgs[0].clone());
+        assert_eq!(out.len(), 50);
+        let payloads: Vec<i32> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, (0..50).collect::<Vec<_>>());
+        assert_eq!(rx.pending_len(), 0);
+    }
+
+    #[test]
+    fn cross_origin_wake_chain() {
+        // p0's b depends on p1's a; p2 buffers both, then receives the
+        // missing predecessor last. The wake must hop across origins.
+        let mut p0 = CbcastEngine::new(p(0), 3);
+        let mut p1 = CbcastEngine::new(p(1), 3);
+        let mut p2 = CbcastEngine::new(p(2), 3);
+        let a1 = p1.broadcast('a');
+        let a2 = p1.broadcast('A');
+        p0.on_receive(a1.clone());
+        p0.on_receive(a2.clone());
+        let b = p0.broadcast('b');
+        assert!(p2.on_receive(b.clone()).is_empty());
+        assert!(p2.on_receive(a2.clone()).is_empty());
+        assert_eq!(p2.pending_len(), 2);
+        let out = p2.on_receive(a1.clone());
+        assert_eq!(
+            out.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec!['a', 'A', 'b']
+        );
     }
 
     #[test]

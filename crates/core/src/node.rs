@@ -308,9 +308,10 @@ impl<A: CausalApp> CausalNode<A> {
             env: env.clone(),
             sent_at: ctx.now(),
         };
-        for (to, msg) in self.rb.broadcast(timed) {
-            ctx.send(to, GroupWire::Rb(msg));
-        }
+        // One multicast per broadcast: the copies are identical, so a
+        // serializing transport encodes the envelope once for the group.
+        let (targets, msg) = self.rb.broadcast_grouped(timed);
+        ctx.multicast(targets, GroupWire::Rb(msg));
         self.arm_timer(ctx);
         self.sent_times.insert(env.id, ctx.now());
         self.delivery.on_receive(env)
@@ -436,8 +437,8 @@ impl<A: CausalApp> Actor for CausalNode<A> {
         }
         self.timer_armed = false;
         if self.rb.has_pending() {
-            for (to, msg) in self.rb.retransmissions() {
-                ctx.send(to, GroupWire::Rb(msg));
+            for (targets, msg) in self.rb.retransmissions_grouped() {
+                ctx.multicast(targets, GroupWire::Rb(msg));
             }
             self.arm_timer(ctx);
         }
@@ -562,9 +563,8 @@ impl<A: BcastApp> CbcastNode<A> {
             env: env.clone(),
             sent_at: ctx.now(),
         };
-        for (to, msg) in self.rb.broadcast(timed) {
-            ctx.send(to, msg);
-        }
+        let (targets, msg) = self.rb.broadcast_grouped(timed);
+        ctx.multicast(targets, msg);
         self.arm_timer(ctx);
         self.sent_times.insert(env.id, ctx.now());
         // The engine already self-delivered at broadcast(); run the app.
@@ -596,9 +596,8 @@ impl<A: BcastApp> CbcastNode<A> {
                     env: new_env.clone(),
                     sent_at: ctx.now(),
                 };
-                for (to, msg) in self.rb.broadcast(timed) {
-                    ctx.send(to, msg);
-                }
+                let (targets, msg) = self.rb.broadcast_grouped(timed);
+                ctx.multicast(targets, msg);
                 self.arm_timer(ctx);
                 self.sent_times.insert(new_env.id, ctx.now());
                 queue.push_back(new_env);
@@ -636,8 +635,8 @@ impl<A: BcastApp> Actor for CbcastNode<A> {
         }
         self.timer_armed = false;
         if self.rb.has_pending() {
-            for (to, msg) in self.rb.retransmissions() {
-                ctx.send(to, msg);
+            for (targets, msg) in self.rb.retransmissions_grouped() {
+                ctx.multicast(targets, msg);
             }
             self.arm_timer(ctx);
         }

@@ -203,18 +203,26 @@ impl<E: HasMsgId + Clone> ReliableBroadcast<E> {
     /// transmissions to every other member. The caller delivers the
     /// envelope to its *own* stack directly (self-delivery is reliable).
     pub fn broadcast(&mut self, env: E) -> Vec<(ProcessId, RbMsg<E>)> {
+        let (targets, msg) = self.broadcast_grouped(env);
+        targets.into_iter().map(|p| (p, msg.clone())).collect()
+    }
+
+    /// [`broadcast`](Self::broadcast) as a single multicast: the target
+    /// list (ascending) and *one* message for all of them. The initial
+    /// copies are identical per peer, so a transport can encode the
+    /// message once for the whole group (see `Context::multicast`). An
+    /// empty target list means no peers.
+    pub fn broadcast_grouped(&mut self, env: E) -> (Vec<ProcessId>, RbMsg<E>) {
         let id = env.msg_id();
         self.seen.insert(id);
         let unacked = self.peers.clone();
-        let sends = unacked
-            .iter()
-            .map(|&p| (p, RbMsg::Data(env.clone())))
-            .collect();
+        let targets: Vec<ProcessId> = unacked.iter().copied().collect();
+        let msg = RbMsg::Data(env.clone());
         if !unacked.is_empty() {
             self.outgoing.insert(id, Outgoing { env, unacked });
             self.outgoing_order.push(id);
         }
-        sends
+        (targets, msg)
     }
 
     /// Handles incoming data. Returns the envelope if it is fresh (to be
@@ -245,14 +253,23 @@ impl<E: HasMsgId + Clone> ReliableBroadcast<E> {
     /// Returns retransmissions for every copy still unacknowledged, in
     /// initiation order. Call from a periodic timer.
     pub fn retransmissions(&mut self) -> Vec<(ProcessId, RbMsg<E>)> {
+        self.retransmissions_grouped()
+            .into_iter()
+            .flat_map(|(targets, msg)| targets.into_iter().map(move |p| (p, msg.clone())))
+            .collect()
+    }
+
+    /// [`retransmissions`](Self::retransmissions) as one multicast per
+    /// in-flight message (initiation order): the peers still owing an
+    /// acknowledgement (ascending) and the single copy they all get.
+    pub fn retransmissions_grouped(&mut self) -> Vec<(Vec<ProcessId>, RbMsg<E>)> {
         let mut out = Vec::new();
         for id in &self.outgoing_order {
             let outgoing = &self.outgoing[id];
-            for &p in &outgoing.unacked {
-                out.push((p, RbMsg::Data(outgoing.env.clone())));
-            }
+            let targets: Vec<ProcessId> = outgoing.unacked.iter().copied().collect();
+            self.retransmissions += targets.len() as u64;
+            out.push((targets, RbMsg::Data(outgoing.env.clone())));
         }
-        self.retransmissions += out.len() as u64;
         out
     }
 

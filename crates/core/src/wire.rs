@@ -83,6 +83,18 @@ pub trait WireEncode: Sized {
         out
     }
 
+    /// Encodes into a caller-owned scratch buffer, reusing its capacity.
+    ///
+    /// The buffer is cleared first; the returned slice is the encoded
+    /// value. Hot paths (the TCP transport encodes every outbound message)
+    /// call this with a long-lived scratch `Vec` so steady-state encoding
+    /// allocates nothing.
+    fn encode_to<'a>(&self, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+        scratch.clear();
+        self.encode(scratch);
+        scratch.as_slice()
+    }
+
     /// Decodes a value that must consume the whole buffer.
     ///
     /// # Errors

@@ -3,6 +3,7 @@
 
 use causal_clocks::{MsgId, ProcessId, VectorClock};
 use causal_core::check;
+use causal_core::delivery::reference::{FlatCbcastEngine, ScanGraphDelivery};
 use causal_core::delivery::{CbcastEngine, GraphDelivery, VtEnvelope};
 use causal_core::graph::MsgGraph;
 use causal_core::osend::GraphEnvelope;
@@ -384,5 +385,74 @@ proptest! {
             wire::FrameHeader::decode(&mut input),
             Err(wire::DecodeError::LengthOutOfRange { got: bad as u64 })
         );
+    }
+}
+
+proptest! {
+    /// The indexed CBCAST engine is observationally identical to the seed
+    /// flat-rescan engine under arbitrary schedules: reorders, duplicated
+    /// receptions, and drops (messages that simply never arrive). Every
+    /// `on_receive` must release the same envelopes in the same order,
+    /// and the final log, clock, buffer depth, and duplicate count must
+    /// all agree.
+    #[test]
+    fn cbcast_indexed_equivalent_to_flat_engine(
+        sends_per in proptest::collection::vec(1usize..6, 3),
+        raw_sched in proptest::collection::vec(0usize..1000, 0..80),
+    ) {
+        // Multi-sender wire with maximal potential causality, as in
+        // cbcast_respects_potential_causality above.
+        let n = 3;
+        let mut engines: Vec<CbcastEngine<usize>> =
+            (0..n).map(|i| CbcastEngine::new(ProcessId::new(i as u32), n)).collect();
+        let mut wire: Vec<VtEnvelope<usize>> = Vec::new();
+        let mut counter = 0usize;
+        for round in 0..*sends_per.iter().max().unwrap() {
+            for s in 0..n {
+                if round < sends_per[s] {
+                    for env in wire.clone() {
+                        engines[s].on_receive(env);
+                    }
+                    wire.push(engines[s].broadcast(counter));
+                    counter += 1;
+                }
+            }
+        }
+        // The schedule is a random multiset over the wire: indices may
+        // repeat (duplicates) or be absent entirely (drops), in any order.
+        let mut flat = FlatCbcastEngine::<usize>::new(ProcessId::new(2), n);
+        let mut indexed = CbcastEngine::<usize>::new(ProcessId::new(2), n);
+        for &raw in &raw_sched {
+            let env = &wire[raw % wire.len()];
+            let a = flat.on_receive(env.clone());
+            let b = indexed.on_receive(env.clone());
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(flat.log(), indexed.log());
+        prop_assert_eq!(flat.clock(), indexed.clock());
+        prop_assert_eq!(flat.pending_len(), indexed.pending_len());
+        prop_assert_eq!(flat.duplicates(), indexed.duplicates());
+    }
+
+    /// The counted-cascade graph engine is observationally identical to
+    /// the seed full-recheck engine under the same schedule family:
+    /// random DAGs, arrival orders with duplicates and drops.
+    #[test]
+    fn graph_indexed_equivalent_to_scan_engine(
+        dag in arb_dag(20),
+        raw_sched in proptest::collection::vec(0usize..1000, 0..60),
+    ) {
+        let envs = dag_envelopes(&dag);
+        let mut scan = ScanGraphDelivery::<usize>::new();
+        let mut indexed = GraphDelivery::<usize>::new();
+        for &raw in &raw_sched {
+            let env = &envs[raw % envs.len()];
+            let a: Vec<MsgId> = scan.on_receive(env.clone()).iter().map(|e| e.id).collect();
+            let b: Vec<MsgId> = indexed.on_receive(env.clone()).iter().map(|e| e.id).collect();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(scan.log(), indexed.log());
+        prop_assert_eq!(scan.pending_len(), indexed.pending_len());
+        prop_assert_eq!(scan.duplicates(), indexed.duplicates());
     }
 }

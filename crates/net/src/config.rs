@@ -23,6 +23,13 @@ pub struct TcpConfig {
     /// How long an accepted connection may sit silent before its
     /// identifying `Hello` frame must have arrived.
     pub hello_timeout: Duration,
+    /// Ceiling on one coalesced write batch: the writer drains frames
+    /// already waiting in its channel into a single buffer until the
+    /// batch would exceed this many bytes, then issues one
+    /// `write_all` + flush. Batching only coalesces what is already
+    /// queued, so it never adds latency; the cap bounds the buffer and
+    /// keeps one write from monopolizing the socket.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for TcpConfig {
@@ -33,6 +40,7 @@ impl Default for TcpConfig {
             max_connect_retries: 12,
             poll_interval: Duration::from_millis(20),
             hello_timeout: Duration::from_secs(2),
+            max_batch_bytes: 256 * 1024,
         }
     }
 }

@@ -15,13 +15,13 @@
 //! assumption that the network may lose messages.
 
 use crate::config::TcpConfig;
-use crate::frame::{hello_body, parse_hello, write_frame, FrameReader};
+use crate::frame::{append_frame, hello_frame, parse_hello, FrameReader};
 use crate::stats::NetStats;
 use causal_clocks::ProcessId;
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,8 +29,24 @@ use std::time::{Duration, Instant};
 /// A raw inbound message: the sending peer and the undecoded frame body.
 pub type RawInbound = (ProcessId, Vec<u8>);
 
+/// One frame body queued toward a peer. Unicast sends own their bytes;
+/// multicast fan-out shares one encoding across every per-peer channel.
+enum Outbound {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl Outbound {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Outbound::Owned(v) => v,
+            Outbound::Shared(a) => a,
+        }
+    }
+}
+
 struct Link {
-    tx: Mutex<Sender<Vec<u8>>>,
+    tx: Mutex<Sender<Outbound>>,
     /// Clone of the currently live outbound stream, for fault injection
     /// ([`ConnectionManager::force_disconnect`]) and shutdown.
     live: Arc<Mutex<Option<TcpStream>>>,
@@ -139,11 +155,41 @@ impl ConnectionManager {
         }
         match self.links.get(to.as_usize()) {
             Some(Some(link)) => {
-                let _ = link.tx.lock().unwrap().send(body);
+                let _ = link.tx.lock().unwrap().send(Outbound::Owned(body));
             }
             _ => {
                 if let Some(link) = self.stats.link(to) {
                     link.record_send_drop();
+                }
+            }
+        }
+    }
+
+    /// Hands one encoded body to every link in `targets` without copying
+    /// it: each per-peer channel gets a reference to the same shared
+    /// bytes. A self target loops back through the inbox (which needs an
+    /// owned copy).
+    pub fn multicast(&self, targets: &[ProcessId], body: Arc<[u8]>) {
+        for &to in targets {
+            if let Some(link) = self.stats.link(to) {
+                link.record_sent(body.len());
+            }
+            if to == self.me {
+                let _ = self.inbox_tx.lock().unwrap().send((self.me, body.to_vec()));
+                continue;
+            }
+            match self.links.get(to.as_usize()) {
+                Some(Some(link)) => {
+                    let _ = link
+                        .tx
+                        .lock()
+                        .unwrap()
+                        .send(Outbound::Shared(Arc::clone(&body)));
+                }
+                _ => {
+                    if let Some(link) = self.stats.link(to) {
+                        link.record_send_drop();
+                    }
                 }
             }
         }
@@ -272,12 +318,18 @@ fn reader_loop(
     }
 }
 
+/// Blocks for one frame, lazily (re)connects, then coalesces every frame
+/// already waiting in the channel (up to `max_batch_bytes`) into one
+/// reused buffer and issues a single `write_all` + flush for the whole
+/// batch. Under bursts — broadcast fan-out, retransmission sweeps, frames
+/// queued during a reconnect episode — this turns N syscalls into one; an
+/// idle link still sends each frame the moment it arrives.
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
     me: ProcessId,
     to: ProcessId,
     addr: SocketAddr,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Outbound>,
     live: Arc<Mutex<Option<TcpStream>>>,
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
@@ -285,15 +337,17 @@ fn writer_loop(
 ) {
     let mut stream: Option<TcpStream> = None;
     let mut ever_connected = false;
+    let mut batch: Vec<u8> = Vec::new();
+    let mut hello_scratch: Vec<u8> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
-        let body = match rx.recv_timeout(config.poll_interval) {
+        let first = match rx.recv_timeout(config.poll_interval) {
             Ok(body) => body,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
 
         if stream.is_none() {
-            stream = connect_with_backoff(me, addr, &config, &shutdown);
+            stream = connect_with_backoff(me, addr, &config, &shutdown, &mut hello_scratch);
             if let Some(s) = &stream {
                 if ever_connected {
                     if let Some(link) = stats.link(to) {
@@ -305,17 +359,36 @@ fn writer_loop(
             }
         }
 
+        batch.clear();
+        append_frame(&mut batch, first.as_slice());
+        let mut frames: u64 = 1;
+        while batch.len() < config.max_batch_bytes {
+            match rx.try_recv() {
+                Ok(body) => {
+                    append_frame(&mut batch, body.as_slice());
+                    frames += 1;
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+
         let Some(s) = stream.as_mut() else {
             if let Some(link) = stats.link(to) {
-                link.record_send_drop();
+                link.record_send_drops(frames);
             }
             continue;
         };
-        if write_frame(s, &body).is_err() {
+        if s.write_all(&batch).and_then(|()| s.flush()).is_ok() {
+            if let Some(link) = stats.link(to) {
+                link.record_write(frames, batch.len() as u64);
+            }
+        } else {
+            // The whole batch is dropped with the connection; the
+            // reliability layer retransmits, so this costs latency only.
             stream = None;
             *live.lock().unwrap() = None;
             if let Some(link) = stats.link(to) {
-                link.record_send_drop();
+                link.record_send_drops(frames);
             }
         }
     }
@@ -326,12 +399,14 @@ fn writer_loop(
 
 /// One reconnect episode: up to `max_connect_retries` attempts with
 /// exponentially growing delays, abandoned early on shutdown. A fresh
-/// connection immediately identifies itself with a `Hello` frame.
+/// connection immediately identifies itself with a `Hello` frame
+/// (encoded into the caller's reused scratch buffer).
 fn connect_with_backoff(
     me: ProcessId,
     addr: SocketAddr,
     config: &TcpConfig,
     shutdown: &AtomicBool,
+    scratch: &mut Vec<u8>,
 ) -> Option<TcpStream> {
     let mut delay = config.backoff_initial;
     for attempt in 0..config.max_connect_retries {
@@ -346,7 +421,8 @@ fn connect_with_backoff(
             continue;
         };
         let _ = s.set_nodelay(true);
-        if write_frame(&mut s, &hello_body(me)).is_ok() {
+        let hello = hello_frame(me, scratch);
+        if s.write_all(hello).and_then(|()| s.flush()).is_ok() {
             return Some(s);
         }
     }

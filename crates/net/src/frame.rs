@@ -14,7 +14,23 @@ use std::io::{self, Read, Write};
 /// First bytes of every connection: identifies the protocol ("CNE" + version).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"CNE1");
 
+/// Appends one frame (`header ‖ body`) to `out` without writing anywhere.
+///
+/// The coalescing writer builds a whole batch of frames in one reused
+/// buffer with this, then issues a single `write_all` + flush.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`](causal_core::wire::MAX_FRAME_LEN).
+pub fn append_frame(out: &mut Vec<u8>, body: &[u8]) {
+    FrameHeader::for_body_len(body.len()).encode(out);
+    out.extend_from_slice(body);
+}
+
 /// Writes one frame (`header ‖ body`) and flushes.
+///
+/// Allocates a fresh buffer per call; hot paths should use
+/// [`write_frame_buffered`] (or batch with [`append_frame`]) instead.
 ///
 /// # Errors
 ///
@@ -24,11 +40,43 @@ pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"CNE1");
 ///
 /// Panics if `body` exceeds [`MAX_FRAME_LEN`](causal_core::wire::MAX_FRAME_LEN).
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(FrameHeader::ENCODED_LEN + body.len());
-    FrameHeader::for_body_len(body.len()).encode(&mut buf);
-    buf.extend_from_slice(body);
-    w.write_all(&buf)?;
+    let mut buf = Vec::new();
+    write_frame_buffered(w, &mut buf, body)
+}
+
+/// Writes one frame (`header ‖ body`) through a caller-owned scratch
+/// buffer (cleared first, capacity reused) and flushes — one `write_all`,
+/// no per-call allocation in steady state.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`](causal_core::wire::MAX_FRAME_LEN).
+pub fn write_frame_buffered<W: Write>(
+    w: &mut W,
+    scratch: &mut Vec<u8>,
+    body: &[u8],
+) -> io::Result<()> {
+    scratch.clear();
+    append_frame(scratch, body);
+    w.write_all(scratch)?;
     w.flush()
+}
+
+/// Encodes the complete framed `Hello` (header ‖ body) for `me` into
+/// `scratch`, reusing its capacity, and returns the bytes to put on the
+/// wire. The handshake path on every (re)connect goes through this so a
+/// reconnect episode allocates nothing per attempt.
+pub fn hello_frame(me: ProcessId, scratch: &mut Vec<u8>) -> &[u8] {
+    scratch.clear();
+    let mut body = [0u8; 8];
+    body[..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+    body[4..].copy_from_slice(&me.as_u32().to_le_bytes());
+    append_frame(scratch, &body);
+    scratch.as_slice()
 }
 
 /// The body of the identifying `Hello` frame an initiator sends first.
@@ -202,5 +250,25 @@ mod tests {
         let mut bad = body.clone();
         bad[0] ^= 0xFF;
         assert!(parse_hello(&bad).is_err());
+    }
+
+    #[test]
+    fn hello_frame_matches_write_frame_of_hello_body() {
+        let mut via_write = Vec::new();
+        write_frame(&mut via_write, &hello_body(ProcessId::new(3))).unwrap();
+        let mut scratch = vec![0xAA; 64]; // stale contents must not leak
+        assert_eq!(hello_frame(ProcessId::new(3), &mut scratch), via_write);
+    }
+
+    #[test]
+    fn batched_frames_decode_individually() {
+        let mut batch = Vec::new();
+        append_frame(&mut batch, b"one");
+        append_frame(&mut batch, b"");
+        append_frame(&mut batch, b"three");
+        let mut reader = FrameReader::new(batch.as_slice());
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"three");
     }
 }

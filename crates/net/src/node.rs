@@ -24,13 +24,28 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// [`Transport`] impl: encode, then hand to the connection manager.
+///
+/// Every encode goes through one long-lived scratch buffer, so
+/// steady-state serialization never re-grows a fresh `Vec`; a multicast
+/// encodes **once** into shared bytes handed to every per-peer writer
+/// instead of re-encoding per destination.
 struct TcpTransport {
     manager: Arc<ConnectionManager>,
+    scratch: Vec<u8>,
 }
 
 impl<M: WireEncode> Transport<M> for TcpTransport {
     fn send(&mut self, to: ProcessId, msg: M) {
-        self.manager.send_to(to, msg.to_wire());
+        let bytes = msg.encode_to(&mut self.scratch);
+        self.manager.send_to(to, bytes.to_vec());
+    }
+
+    fn multicast(&mut self, to: &[ProcessId], msg: M)
+    where
+        M: Clone,
+    {
+        let bytes: Arc<[u8]> = Arc::from(msg.encode_to(&mut self.scratch));
+        self.manager.multicast(to, bytes);
     }
 }
 
@@ -156,6 +171,7 @@ where
 {
     let mut transport = TcpTransport {
         manager: Arc::clone(&manager),
+        scratch: Vec::new(),
     };
     let mut runner = ActorRunner::new(actor, me, n, seed);
     runner.start(&mut transport);

@@ -18,6 +18,9 @@ pub struct LinkStats {
     bytes_recv: AtomicU64,
     reconnects: AtomicU64,
     send_drops: AtomicU64,
+    writes: AtomicU64,
+    frames_written: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 impl LinkStats {
@@ -38,6 +41,18 @@ impl LinkStats {
     pub(crate) fn record_send_drop(&self) {
         self.send_drops.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn record_send_drops(&self, n: u64) {
+        self.send_drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One successful socket write that carried `frames` coalesced frames
+    /// totalling `bytes` on the wire (headers included).
+    pub(crate) fn record_write(&self, frames: u64, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.frames_written.fetch_add(frames, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time copy of one link's counters.
@@ -56,6 +71,33 @@ pub struct LinkSnapshot {
     /// Frames dropped because the link was down (the reliability layer
     /// above retransmits, so drops cost latency, not correctness).
     pub send_drops: u64,
+    /// Socket writes issued (each one `write_all` + flush of a batch).
+    pub writes: u64,
+    /// Frames carried by those writes. `frames_written / writes` is the
+    /// coalescing factor — above 1 means batching is happening.
+    pub frames_written: u64,
+    /// Wire bytes carried by those writes, frame headers included.
+    pub bytes_written: u64,
+}
+
+impl LinkSnapshot {
+    /// Mean frames per socket write (1.0 when nothing was written).
+    pub fn frames_per_write(&self) -> f64 {
+        if self.writes == 0 {
+            1.0
+        } else {
+            self.frames_written as f64 / self.writes as f64
+        }
+    }
+
+    /// Mean wire bytes per socket write (0.0 when nothing was written).
+    pub fn bytes_per_write(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / self.writes as f64
+        }
+    }
 }
 
 /// Live counters for one node's transport: a [`LinkStats`] per peer plus
@@ -97,6 +139,9 @@ impl NetStats {
                     bytes_recv: l.bytes_recv.load(Ordering::Relaxed),
                     reconnects: l.reconnects.load(Ordering::Relaxed),
                     send_drops: l.send_drops.load(Ordering::Relaxed),
+                    writes: l.writes.load(Ordering::Relaxed),
+                    frames_written: l.frames_written.load(Ordering::Relaxed),
+                    bytes_written: l.bytes_written.load(Ordering::Relaxed),
                 })
                 .collect(),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
@@ -129,6 +174,26 @@ impl NetSnapshot {
     pub fn total_reconnects(&self) -> u64 {
         self.links.iter().map(|l| l.reconnects).sum()
     }
+
+    /// Total socket writes across all links.
+    pub fn total_writes(&self) -> u64 {
+        self.links.iter().map(|l| l.writes).sum()
+    }
+
+    /// Total frames carried by socket writes across all links.
+    pub fn total_frames_written(&self) -> u64 {
+        self.links.iter().map(|l| l.frames_written).sum()
+    }
+
+    /// Mean frames per socket write across all links (1.0 if none).
+    pub fn frames_per_write(&self) -> f64 {
+        let writes = self.total_writes();
+        if writes == 0 {
+            1.0
+        } else {
+            self.total_frames_written() as f64 / writes as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +209,9 @@ mod tests {
         link.record_recv(3);
         link.record_reconnect();
         link.record_send_drop();
+        link.record_send_drops(2);
+        link.record_write(3, 100);
+        link.record_write(1, 20);
         stats.record_decode_error();
 
         let snap = stats.snapshot();
@@ -152,10 +220,21 @@ mod tests {
         assert_eq!(snap.links[1].msgs_recv, 1);
         assert_eq!(snap.links[1].bytes_recv, 3);
         assert_eq!(snap.links[1].reconnects, 1);
-        assert_eq!(snap.links[1].send_drops, 1);
+        assert_eq!(snap.links[1].send_drops, 3);
+        assert_eq!(snap.links[1].writes, 2);
+        assert_eq!(snap.links[1].frames_written, 4);
+        assert_eq!(snap.links[1].bytes_written, 120);
+        assert_eq!(snap.links[1].frames_per_write(), 2.0);
+        assert_eq!(snap.links[1].bytes_per_write(), 60.0);
         assert_eq!(snap.decode_errors, 1);
         assert_eq!(snap.total_sent(), 2);
         assert_eq!(snap.total_reconnects(), 1);
+        assert_eq!(snap.total_writes(), 2);
+        assert_eq!(snap.total_frames_written(), 4);
+        assert_eq!(snap.frames_per_write(), 2.0);
+        // A link that never wrote reports the neutral ratios.
+        assert_eq!(snap.links[0].frames_per_write(), 1.0);
+        assert_eq!(snap.links[0].bytes_per_write(), 0.0);
         assert!(stats.link(ProcessId::new(9)).is_none());
     }
 }

@@ -55,6 +55,15 @@ pub enum Command<M> {
         /// Payload.
         msg: M,
     },
+    /// Transmit one `msg` to every node in `to` (in order). Runtimes that
+    /// serialize may encode the payload once and share the bytes across
+    /// destinations; semantically this is exactly a `Send` per target.
+    Multicast {
+        /// Destination nodes, in transmission order.
+        to: Vec<ProcessId>,
+        /// Payload, shared by every destination.
+        msg: M,
+    },
     /// Arm a timer that fires after `delay` with the given `tag`.
     SetTimer {
         /// Delay until the timer fires.
@@ -117,29 +126,32 @@ impl<'a, M: Clone> Context<'a, M> {
         self.commands.push(Command::Send { to, msg });
     }
 
+    /// Queues one message to every process in `to`, as a single
+    /// [`Command::Multicast`]: transports that serialize encode the
+    /// payload once for the whole group instead of once per destination.
+    pub fn multicast(&mut self, to: Vec<ProcessId>, msg: M) {
+        if !to.is_empty() {
+            self.commands.push(Command::Multicast { to, msg });
+        }
+    }
+
     /// Queues a message to every *other* node.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.group_size {
-            let to = ProcessId::new(i as u32);
-            if to != self.me {
-                self.commands.push(Command::Send {
-                    to,
-                    msg: msg.clone(),
-                });
-            }
-        }
+        let to: Vec<ProcessId> = (0..self.group_size)
+            .map(|i| ProcessId::new(i as u32))
+            .filter(|&to| to != self.me)
+            .collect();
+        self.multicast(to, msg);
     }
 
     /// Queues a message to every node *including* self; the self-copy is a
     /// loopback delivery (no latency, no faults), which is how a group
     /// broadcast primitive sees its own messages.
     pub fn broadcast_all(&mut self, msg: M) {
-        for i in 0..self.group_size {
-            self.commands.push(Command::Send {
-                to: ProcessId::new(i as u32),
-                msg: msg.clone(),
-            });
-        }
+        let to: Vec<ProcessId> = (0..self.group_size)
+            .map(|i| ProcessId::new(i as u32))
+            .collect();
+        self.multicast(to, msg);
     }
 
     /// Arms a timer firing after `delay`, passing `tag` back to
@@ -183,14 +195,13 @@ mod tests {
         let mut ctx: Context<'_, u8> = Context::new(ProcessId::new(1), SimTime::ZERO, 3, &mut rng);
         ctx.broadcast(5);
         let cmds = ctx.take_commands();
-        let targets: Vec<_> = cmds
-            .iter()
-            .map(|c| match c {
-                Command::Send { to, .. } => *to,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(targets, vec![ProcessId::new(0), ProcessId::new(2)]);
+        assert_eq!(
+            cmds,
+            vec![Command::Multicast {
+                to: vec![ProcessId::new(0), ProcessId::new(2)],
+                msg: 5
+            }]
+        );
     }
 
     #[test]
@@ -198,7 +209,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut ctx: Context<'_, u8> = Context::new(ProcessId::new(1), SimTime::ZERO, 3, &mut rng);
         ctx.broadcast_all(5);
-        assert_eq!(ctx.take_commands().len(), 3);
+        let cmds = ctx.take_commands();
+        assert_eq!(
+            cmds,
+            vec![Command::Multicast {
+                to: (0..3).map(ProcessId::new).collect(),
+                msg: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_multicast_is_elided() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx: Context<'_, u8> = Context::new(ProcessId::new(0), SimTime::ZERO, 1, &mut rng);
+        ctx.broadcast(5); // sole member: no other nodes
+        assert!(ctx.take_commands().is_empty());
     }
 
     #[test]

@@ -44,6 +44,23 @@ use std::time::{Duration, Instant};
 pub trait Transport<M> {
     /// Hands `msg` to the transport for delivery to `to`.
     fn send(&mut self, to: ProcessId, msg: M);
+
+    /// Hands one `msg` to the transport for delivery to every process in
+    /// `to`, in order. Equivalent to a [`send`](Transport::send) per
+    /// target — the default does exactly that — but transports that
+    /// serialize should override it to encode the payload once and share
+    /// the bytes across destinations (see `causal-net`'s `TcpTransport`).
+    fn multicast(&mut self, to: &[ProcessId], msg: M)
+    where
+        M: Clone,
+    {
+        if let Some((&last, rest)) = to.split_last() {
+            for &dest in rest {
+                self.send(dest, msg.clone());
+            }
+            self.send(last, msg);
+        }
+    }
 }
 
 impl<M, F: FnMut(ProcessId, M)> Transport<M> for F {
@@ -152,6 +169,7 @@ impl<A: Actor> ActorRunner<A> {
         for command in ctx.take_commands() {
             match command {
                 Command::Send { to, msg } => transport.send(to, msg),
+                Command::Multicast { to, msg } => transport.multicast(&to, msg),
                 Command::SetTimer { delay, tag } => {
                     let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
                     self.timers.push(Reverse((fire_at, self.timer_seq, tag)));

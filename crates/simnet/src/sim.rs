@@ -323,6 +323,14 @@ impl<A: Actor> Simulation<A> {
         for command in commands {
             match command {
                 Command::Send { to, msg } => self.transmit(me, to, msg),
+                Command::Multicast { to, msg } => {
+                    // Per-target transmissions in command order, so each
+                    // leg draws faults/latency exactly as the equivalent
+                    // sequence of `Send`s would (determinism under a seed).
+                    for dest in to {
+                        self.transmit(me, dest, msg.clone());
+                    }
+                }
                 Command::SetTimer { delay, tag } => {
                     self.schedule(self.now + delay, EventKind::Timer { node: me, tag });
                 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gc-1245b4bff2487781.d: crates/bench/src/bin/ablation_gc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gc-1245b4bff2487781.rmeta: crates/bench/src/bin/ablation_gc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

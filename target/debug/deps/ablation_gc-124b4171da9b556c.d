@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gc-124b4171da9b556c.d: crates/bench/src/bin/ablation_gc.rs
+
+/root/repo/target/debug/deps/ablation_gc-124b4171da9b556c: crates/bench/src/bin/ablation_gc.rs
+
+crates/bench/src/bin/ablation_gc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-30c32ad8c47f9fd0.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_semantic_vs_potential-30c32ad8c47f9fd0.rmeta: crates/bench/src/bin/ablation_semantic_vs_potential.rs Cargo.toml
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

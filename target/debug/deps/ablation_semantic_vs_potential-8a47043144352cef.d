@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-8a47043144352cef.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-8a47043144352cef: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_semantic_vs_potential-b43015d350841f9d.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_semantic_vs_potential-b43015d350841f9d.rmeta: crates/bench/src/bin/ablation_semantic_vs_potential.rs Cargo.toml
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

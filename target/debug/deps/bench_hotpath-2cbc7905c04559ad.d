@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hotpath-2cbc7905c04559ad.d: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hotpath-2cbc7905c04559ad.rmeta: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+crates/bench/src/bin/bench_hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hotpath-c7a8183012d39113.d: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hotpath-c7a8183012d39113.rmeta: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+crates/bench/src/bin/bench_hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hotpath-d5b368890616fd87.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/debug/deps/bench_hotpath-d5b368890616fd87: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

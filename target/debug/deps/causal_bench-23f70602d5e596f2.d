@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/causal_bench-23f70602d5e596f2.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_bench-23f70602d5e596f2.rmeta: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

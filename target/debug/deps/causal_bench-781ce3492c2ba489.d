@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/causal_bench-781ce3492c2ba489.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libcausal_bench-781ce3492c2ba489.rlib: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libcausal_bench-781ce3492c2ba489.rmeta: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/causal_bench-d695765f003616f9.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/causal_bench-d695765f003616f9: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

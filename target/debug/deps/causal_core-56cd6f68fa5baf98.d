@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/causal_core-56cd6f68fa5baf98.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/delivery/mod.rs crates/core/src/delivery/fifo.rs crates/core/src/delivery/graph_engine.rs crates/core/src/delivery/vector_engine.rs crates/core/src/graph.rs crates/core/src/node.rs crates/core/src/osend.rs crates/core/src/rbcast.rs crates/core/src/stability.rs crates/core/src/stable.rs crates/core/src/statemachine.rs crates/core/src/total.rs crates/core/src/vsync.rs crates/core/src/wire.rs
+/root/repo/target/debug/deps/causal_core-56cd6f68fa5baf98.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/delivery/mod.rs crates/core/src/delivery/fifo.rs crates/core/src/delivery/graph_engine.rs crates/core/src/delivery/reference.rs crates/core/src/delivery/vector_engine.rs crates/core/src/graph.rs crates/core/src/node.rs crates/core/src/osend.rs crates/core/src/rbcast.rs crates/core/src/stability.rs crates/core/src/stable.rs crates/core/src/statemachine.rs crates/core/src/total.rs crates/core/src/vsync.rs crates/core/src/wire.rs
 
-/root/repo/target/debug/deps/causal_core-56cd6f68fa5baf98: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/delivery/mod.rs crates/core/src/delivery/fifo.rs crates/core/src/delivery/graph_engine.rs crates/core/src/delivery/vector_engine.rs crates/core/src/graph.rs crates/core/src/node.rs crates/core/src/osend.rs crates/core/src/rbcast.rs crates/core/src/stability.rs crates/core/src/stable.rs crates/core/src/statemachine.rs crates/core/src/total.rs crates/core/src/vsync.rs crates/core/src/wire.rs
+/root/repo/target/debug/deps/causal_core-56cd6f68fa5baf98: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/delivery/mod.rs crates/core/src/delivery/fifo.rs crates/core/src/delivery/graph_engine.rs crates/core/src/delivery/reference.rs crates/core/src/delivery/vector_engine.rs crates/core/src/graph.rs crates/core/src/node.rs crates/core/src/osend.rs crates/core/src/rbcast.rs crates/core/src/stability.rs crates/core/src/stable.rs crates/core/src/statemachine.rs crates/core/src/total.rs crates/core/src/vsync.rs crates/core/src/wire.rs
 
 crates/core/src/lib.rs:
 crates/core/src/check.rs:
 crates/core/src/delivery/mod.rs:
 crates/core/src/delivery/fifo.rs:
 crates/core/src/delivery/graph_engine.rs:
+crates/core/src/delivery/reference.rs:
 crates/core/src/delivery/vector_engine.rs:
 crates/core/src/graph.rs:
 crates/core/src/node.rs:

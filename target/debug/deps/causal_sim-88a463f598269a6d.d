@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causal_sim-88a463f598269a6d.d: crates/bench/src/bin/causal_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_sim-88a463f598269a6d.rmeta: crates/bench/src/bin/causal_sim.rs Cargo.toml
+
+crates/bench/src/bin/causal_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

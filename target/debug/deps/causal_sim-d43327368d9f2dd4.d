@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causal_sim-d43327368d9f2dd4.d: crates/bench/src/bin/causal_sim.rs
+
+/root/repo/target/debug/deps/causal_sim-d43327368d9f2dd4: crates/bench/src/bin/causal_sim.rs
+
+crates/bench/src/bin/causal_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clock_ops-02a745ff6f921525.d: crates/bench/benches/clock_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclock_ops-02a745ff6f921525.rmeta: crates/bench/benches/clock_ops.rs Cargo.toml
+
+crates/bench/benches/clock_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delivery-191479f2fa68a58f.d: crates/bench/benches/delivery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelivery-191479f2fa68a58f.rmeta: crates/bench/benches/delivery.rs Cargo.toml
+
+crates/bench/benches/delivery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_shared_data-2af6e1223237e9ee.d: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+/root/repo/target/debug/deps/exp_fig1_shared_data-2af6e1223237e9ee: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+crates/bench/src/bin/exp_fig1_shared_data.rs:

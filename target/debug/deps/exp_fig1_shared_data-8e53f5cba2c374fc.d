@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1_shared_data-8e53f5cba2c374fc.d: crates/bench/src/bin/exp_fig1_shared_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1_shared_data-8e53f5cba2c374fc.rmeta: crates/bench/src/bin/exp_fig1_shared_data.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1_shared_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

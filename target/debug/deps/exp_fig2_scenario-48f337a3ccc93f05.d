@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_scenario-48f337a3ccc93f05.d: crates/bench/src/bin/exp_fig2_scenario.rs
+
+/root/repo/target/debug/deps/exp_fig2_scenario-48f337a3ccc93f05: crates/bench/src/bin/exp_fig2_scenario.rs
+
+crates/bench/src/bin/exp_fig2_scenario.rs:

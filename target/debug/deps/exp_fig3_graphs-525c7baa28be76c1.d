@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig3_graphs-525c7baa28be76c1.d: crates/bench/src/bin/exp_fig3_graphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig3_graphs-525c7baa28be76c1.rmeta: crates/bench/src/bin/exp_fig3_graphs.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig3_graphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

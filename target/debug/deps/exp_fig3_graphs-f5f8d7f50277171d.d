@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_graphs-f5f8d7f50277171d.d: crates/bench/src/bin/exp_fig3_graphs.rs
+
+/root/repo/target/debug/deps/exp_fig3_graphs-f5f8d7f50277171d: crates/bench/src/bin/exp_fig3_graphs.rs
+
+crates/bench/src/bin/exp_fig3_graphs.rs:

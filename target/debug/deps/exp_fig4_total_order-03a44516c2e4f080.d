@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_total_order-03a44516c2e4f080.d: crates/bench/src/bin/exp_fig4_total_order.rs
+
+/root/repo/target/debug/deps/exp_fig4_total_order-03a44516c2e4f080: crates/bench/src/bin/exp_fig4_total_order.rs
+
+crates/bench/src/bin/exp_fig4_total_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig4_total_order-2c9462233b46991c.d: crates/bench/src/bin/exp_fig4_total_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig4_total_order-2c9462233b46991c.rmeta: crates/bench/src/bin/exp_fig4_total_order.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig4_total_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

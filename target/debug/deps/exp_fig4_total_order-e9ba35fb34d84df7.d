@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig4_total_order-e9ba35fb34d84df7.d: crates/bench/src/bin/exp_fig4_total_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig4_total_order-e9ba35fb34d84df7.rmeta: crates/bench/src/bin/exp_fig4_total_order.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig4_total_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

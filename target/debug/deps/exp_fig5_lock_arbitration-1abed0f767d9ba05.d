@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig5_lock_arbitration-1abed0f767d9ba05.d: crates/bench/src/bin/exp_fig5_lock_arbitration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig5_lock_arbitration-1abed0f767d9ba05.rmeta: crates/bench/src/bin/exp_fig5_lock_arbitration.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig5_lock_arbitration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

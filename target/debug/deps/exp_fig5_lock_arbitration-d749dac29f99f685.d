@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_lock_arbitration-d749dac29f99f685.d: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+/root/repo/target/debug/deps/exp_fig5_lock_arbitration-d749dac29f99f685: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+crates/bench/src/bin/exp_fig5_lock_arbitration.rs:

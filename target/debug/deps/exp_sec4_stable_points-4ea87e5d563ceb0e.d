@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec4_stable_points-4ea87e5d563ceb0e.d: crates/bench/src/bin/exp_sec4_stable_points.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec4_stable_points-4ea87e5d563ceb0e.rmeta: crates/bench/src/bin/exp_sec4_stable_points.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec4_stable_points.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

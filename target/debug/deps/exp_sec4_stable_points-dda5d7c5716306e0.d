@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec4_stable_points-dda5d7c5716306e0.d: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+/root/repo/target/debug/deps/exp_sec4_stable_points-dda5d7c5716306e0: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+crates/bench/src/bin/exp_sec4_stable_points.rs:

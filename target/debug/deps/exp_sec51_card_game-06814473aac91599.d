@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec51_card_game-06814473aac91599.d: crates/bench/src/bin/exp_sec51_card_game.rs
+
+/root/repo/target/debug/deps/exp_sec51_card_game-06814473aac91599: crates/bench/src/bin/exp_sec51_card_game.rs
+
+crates/bench/src/bin/exp_sec51_card_game.rs:

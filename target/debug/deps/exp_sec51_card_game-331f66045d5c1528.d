@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec51_card_game-331f66045d5c1528.d: crates/bench/src/bin/exp_sec51_card_game.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec51_card_game-331f66045d5c1528.rmeta: crates/bench/src/bin/exp_sec51_card_game.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec51_card_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

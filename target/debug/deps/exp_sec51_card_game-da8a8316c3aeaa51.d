@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec51_card_game-da8a8316c3aeaa51.d: crates/bench/src/bin/exp_sec51_card_game.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec51_card_game-da8a8316c3aeaa51.rmeta: crates/bench/src/bin/exp_sec51_card_game.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec51_card_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec52_name_service-a0474b42d8f8edec.d: crates/bench/src/bin/exp_sec52_name_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec52_name_service-a0474b42d8f8edec.rmeta: crates/bench/src/bin/exp_sec52_name_service.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec52_name_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

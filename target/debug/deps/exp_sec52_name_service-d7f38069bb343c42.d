@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec52_name_service-d7f38069bb343c42.d: crates/bench/src/bin/exp_sec52_name_service.rs
+
+/root/repo/target/debug/deps/exp_sec52_name_service-d7f38069bb343c42: crates/bench/src/bin/exp_sec52_name_service.rs
+
+crates/bench/src/bin/exp_sec52_name_service.rs:

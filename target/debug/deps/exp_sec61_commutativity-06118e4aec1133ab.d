@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sec61_commutativity-06118e4aec1133ab.d: crates/bench/src/bin/exp_sec61_commutativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sec61_commutativity-06118e4aec1133ab.rmeta: crates/bench/src/bin/exp_sec61_commutativity.rs Cargo.toml
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sec61_commutativity-f5214e5e5a2ca3d1.d: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+/root/repo/target/debug/deps/exp_sec61_commutativity-f5214e5e5a2ca3d1: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_ops-1518a9477123bf59.d: crates/bench/benches/graph_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_ops-1518a9477123bf59.rmeta: crates/bench/benches/graph_ops.rs Cargo.toml
+
+crates/bench/benches/graph_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-24c382c7f36d82cc.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-24c382c7f36d82cc.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

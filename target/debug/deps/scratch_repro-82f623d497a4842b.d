@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_repro-82f623d497a4842b.d: crates/core/tests/scratch_repro.rs
+
+/root/repo/target/debug/deps/scratch_repro-82f623d497a4842b: crates/core/tests/scratch_repro.rs
+
+crates/core/tests/scratch_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gc-3fa78522438fbbc2.d: crates/bench/src/bin/ablation_gc.rs
+
+/root/repo/target/release/deps/ablation_gc-3fa78522438fbbc2: crates/bench/src/bin/ablation_gc.rs
+
+crates/bench/src/bin/ablation_gc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gc-c375d1ae23b82818.d: crates/bench/src/bin/ablation_gc.rs
+
+/root/repo/target/release/deps/ablation_gc-c375d1ae23b82818: crates/bench/src/bin/ablation_gc.rs
+
+crates/bench/src/bin/ablation_gc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_semantic_vs_potential-85ebb78f39d3f705.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+/root/repo/target/release/deps/ablation_semantic_vs_potential-85ebb78f39d3f705: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_semantic_vs_potential-97f1a3ac01d301a0.d: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+/root/repo/target/release/deps/ablation_semantic_vs_potential-97f1a3ac01d301a0: crates/bench/src/bin/ablation_semantic_vs_potential.rs
+
+crates/bench/src/bin/ablation_semantic_vs_potential.rs:

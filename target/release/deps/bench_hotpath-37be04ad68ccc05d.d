@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_hotpath-37be04ad68ccc05d.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/release/deps/bench_hotpath-37be04ad68ccc05d: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_hotpath-955ceeeeee72c7e3.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/release/deps/bench_hotpath-955ceeeeee72c7e3: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

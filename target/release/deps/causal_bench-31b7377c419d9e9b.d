@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/causal_bench-31b7377c419d9e9b.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libcausal_bench-31b7377c419d9e9b.rlib: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libcausal_bench-31b7377c419d9e9b.rmeta: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

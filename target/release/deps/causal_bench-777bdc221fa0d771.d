@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/causal_bench-777bdc221fa0d771.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/causal_bench-777bdc221fa0d771: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/json.rs crates/bench/src/scenarios.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

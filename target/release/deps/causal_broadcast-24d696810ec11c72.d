@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causal_broadcast-24d696810ec11c72.d: src/lib.rs
+
+/root/repo/target/release/deps/causal_broadcast-24d696810ec11c72: src/lib.rs
+
+src/lib.rs:

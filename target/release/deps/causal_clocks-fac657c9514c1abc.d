@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/causal_clocks-fac657c9514c1abc.d: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+/root/repo/target/release/deps/causal_clocks-fac657c9514c1abc: crates/clocks/src/lib.rs crates/clocks/src/ids.rs crates/clocks/src/lamport.rs crates/clocks/src/matrix.rs crates/clocks/src/ordering.rs crates/clocks/src/vector.rs
+
+crates/clocks/src/lib.rs:
+crates/clocks/src/ids.rs:
+crates/clocks/src/lamport.rs:
+crates/clocks/src/matrix.rs:
+crates/clocks/src/ordering.rs:
+crates/clocks/src/vector.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/causal_membership-5e580c262376f13f.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/causal_membership-5e580c262376f13f: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/manager.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/manager.rs:
+crates/membership/src/view.rs:

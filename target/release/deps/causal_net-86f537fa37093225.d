@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/causal_net-86f537fa37093225.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/causal_net-86f537fa37093225: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/config.rs crates/net/src/conn.rs crates/net/src/frame.rs crates/net/src/node.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/config.rs:
+crates/net/src/conn.rs:
+crates/net/src/frame.rs:
+crates/net/src/node.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/causal_replica-b0d07af2cc7108db.d: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+/root/repo/target/release/deps/causal_replica-b0d07af2cc7108db: crates/replica/src/lib.rs crates/replica/src/baseline.rs crates/replica/src/cardgame.rs crates/replica/src/counter.rs crates/replica/src/document.rs crates/replica/src/fileservice.rs crates/replica/src/frontend.rs crates/replica/src/lock.rs crates/replica/src/registry.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/baseline.rs:
+crates/replica/src/cardgame.rs:
+crates/replica/src/counter.rs:
+crates/replica/src/document.rs:
+crates/replica/src/fileservice.rs:
+crates/replica/src/frontend.rs:
+crates/replica/src/lock.rs:
+crates/replica/src/registry.rs:

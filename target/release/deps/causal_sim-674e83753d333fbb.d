@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causal_sim-674e83753d333fbb.d: crates/bench/src/bin/causal_sim.rs
+
+/root/repo/target/release/deps/causal_sim-674e83753d333fbb: crates/bench/src/bin/causal_sim.rs
+
+crates/bench/src/bin/causal_sim.rs:

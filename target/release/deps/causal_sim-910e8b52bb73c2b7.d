@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causal_sim-910e8b52bb73c2b7.d: crates/bench/src/bin/causal_sim.rs
+
+/root/repo/target/release/deps/causal_sim-910e8b52bb73c2b7: crates/bench/src/bin/causal_sim.rs
+
+crates/bench/src/bin/causal_sim.rs:

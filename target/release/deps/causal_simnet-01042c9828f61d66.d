@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/causal_simnet-01042c9828f61d66.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/causal_simnet-01042c9828f61d66: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/metrics.rs crates/simnet/src/runner.rs crates/simnet/src/sim.rs crates/simnet/src/threaded.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/runner.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clock_ops-4038274b60168907.d: crates/bench/benches/clock_ops.rs
+
+/root/repo/target/release/deps/clock_ops-4038274b60168907: crates/bench/benches/clock_ops.rs
+
+crates/bench/benches/clock_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/delivery-b59a0e34906e6e5a.d: crates/bench/benches/delivery.rs
+
+/root/repo/target/release/deps/delivery-b59a0e34906e6e5a: crates/bench/benches/delivery.rs
+
+crates/bench/benches/delivery.rs:

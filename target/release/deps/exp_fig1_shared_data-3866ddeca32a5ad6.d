@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1_shared_data-3866ddeca32a5ad6.d: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+/root/repo/target/release/deps/exp_fig1_shared_data-3866ddeca32a5ad6: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+crates/bench/src/bin/exp_fig1_shared_data.rs:

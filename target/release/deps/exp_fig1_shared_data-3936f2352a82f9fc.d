@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1_shared_data-3936f2352a82f9fc.d: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+/root/repo/target/release/deps/exp_fig1_shared_data-3936f2352a82f9fc: crates/bench/src/bin/exp_fig1_shared_data.rs
+
+crates/bench/src/bin/exp_fig1_shared_data.rs:

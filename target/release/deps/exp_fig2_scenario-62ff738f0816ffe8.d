@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_scenario-62ff738f0816ffe8.d: crates/bench/src/bin/exp_fig2_scenario.rs
+
+/root/repo/target/release/deps/exp_fig2_scenario-62ff738f0816ffe8: crates/bench/src/bin/exp_fig2_scenario.rs
+
+crates/bench/src/bin/exp_fig2_scenario.rs:

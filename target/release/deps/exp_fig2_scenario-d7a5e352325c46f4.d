@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_scenario-d7a5e352325c46f4.d: crates/bench/src/bin/exp_fig2_scenario.rs
+
+/root/repo/target/release/deps/exp_fig2_scenario-d7a5e352325c46f4: crates/bench/src/bin/exp_fig2_scenario.rs
+
+crates/bench/src/bin/exp_fig2_scenario.rs:

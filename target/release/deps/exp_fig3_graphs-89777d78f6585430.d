@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_graphs-89777d78f6585430.d: crates/bench/src/bin/exp_fig3_graphs.rs
+
+/root/repo/target/release/deps/exp_fig3_graphs-89777d78f6585430: crates/bench/src/bin/exp_fig3_graphs.rs
+
+crates/bench/src/bin/exp_fig3_graphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_graphs-f9669c8d316c3b8c.d: crates/bench/src/bin/exp_fig3_graphs.rs
+
+/root/repo/target/release/deps/exp_fig3_graphs-f9669c8d316c3b8c: crates/bench/src/bin/exp_fig3_graphs.rs
+
+crates/bench/src/bin/exp_fig3_graphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_total_order-669b264aeaabc75b.d: crates/bench/src/bin/exp_fig4_total_order.rs
+
+/root/repo/target/release/deps/exp_fig4_total_order-669b264aeaabc75b: crates/bench/src/bin/exp_fig4_total_order.rs
+
+crates/bench/src/bin/exp_fig4_total_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_total_order-aca25d7c40d65680.d: crates/bench/src/bin/exp_fig4_total_order.rs
+
+/root/repo/target/release/deps/exp_fig4_total_order-aca25d7c40d65680: crates/bench/src/bin/exp_fig4_total_order.rs
+
+crates/bench/src/bin/exp_fig4_total_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5_lock_arbitration-d2aa74076bd38516.d: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+/root/repo/target/release/deps/exp_fig5_lock_arbitration-d2aa74076bd38516: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+crates/bench/src/bin/exp_fig5_lock_arbitration.rs:

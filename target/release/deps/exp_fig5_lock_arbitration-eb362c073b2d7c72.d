@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5_lock_arbitration-eb362c073b2d7c72.d: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+/root/repo/target/release/deps/exp_fig5_lock_arbitration-eb362c073b2d7c72: crates/bench/src/bin/exp_fig5_lock_arbitration.rs
+
+crates/bench/src/bin/exp_fig5_lock_arbitration.rs:

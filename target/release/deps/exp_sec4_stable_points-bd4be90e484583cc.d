@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec4_stable_points-bd4be90e484583cc.d: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+/root/repo/target/release/deps/exp_sec4_stable_points-bd4be90e484583cc: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+crates/bench/src/bin/exp_sec4_stable_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec4_stable_points-e47217e50776148b.d: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+/root/repo/target/release/deps/exp_sec4_stable_points-e47217e50776148b: crates/bench/src/bin/exp_sec4_stable_points.rs
+
+crates/bench/src/bin/exp_sec4_stable_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec51_card_game-5e293f4b80a19399.d: crates/bench/src/bin/exp_sec51_card_game.rs
+
+/root/repo/target/release/deps/exp_sec51_card_game-5e293f4b80a19399: crates/bench/src/bin/exp_sec51_card_game.rs
+
+crates/bench/src/bin/exp_sec51_card_game.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec51_card_game-ea9bbc3bb7827bd7.d: crates/bench/src/bin/exp_sec51_card_game.rs
+
+/root/repo/target/release/deps/exp_sec51_card_game-ea9bbc3bb7827bd7: crates/bench/src/bin/exp_sec51_card_game.rs
+
+crates/bench/src/bin/exp_sec51_card_game.rs:

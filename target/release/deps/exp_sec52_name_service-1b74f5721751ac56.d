@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec52_name_service-1b74f5721751ac56.d: crates/bench/src/bin/exp_sec52_name_service.rs
+
+/root/repo/target/release/deps/exp_sec52_name_service-1b74f5721751ac56: crates/bench/src/bin/exp_sec52_name_service.rs
+
+crates/bench/src/bin/exp_sec52_name_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec52_name_service-e28cd3c7049e3eb2.d: crates/bench/src/bin/exp_sec52_name_service.rs
+
+/root/repo/target/release/deps/exp_sec52_name_service-e28cd3c7049e3eb2: crates/bench/src/bin/exp_sec52_name_service.rs
+
+crates/bench/src/bin/exp_sec52_name_service.rs:

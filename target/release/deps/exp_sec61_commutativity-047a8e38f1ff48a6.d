@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec61_commutativity-047a8e38f1ff48a6.d: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+/root/repo/target/release/deps/exp_sec61_commutativity-047a8e38f1ff48a6: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:

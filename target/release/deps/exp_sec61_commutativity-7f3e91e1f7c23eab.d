@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sec61_commutativity-7f3e91e1f7c23eab.d: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+/root/repo/target/release/deps/exp_sec61_commutativity-7f3e91e1f7c23eab: crates/bench/src/bin/exp_sec61_commutativity.rs
+
+crates/bench/src/bin/exp_sec61_commutativity.rs:

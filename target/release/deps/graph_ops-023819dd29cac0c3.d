@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_ops-023819dd29cac0c3.d: crates/bench/benches/graph_ops.rs
+
+/root/repo/target/release/deps/graph_ops-023819dd29cac0c3: crates/bench/benches/graph_ops.rs
+
+crates/bench/benches/graph_ops.rs:

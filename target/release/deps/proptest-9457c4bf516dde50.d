@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-9457c4bf516dde50.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-9457c4bf516dde50: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

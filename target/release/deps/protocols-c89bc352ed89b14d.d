@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocols-c89bc352ed89b14d.d: crates/bench/benches/protocols.rs
+
+/root/repo/target/release/deps/protocols-c89bc352ed89b14d: crates/bench/benches/protocols.rs
+
+crates/bench/benches/protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-eadbe0f90f7a462e.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-eadbe0f90f7a462e: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

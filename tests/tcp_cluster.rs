@@ -154,5 +154,16 @@ fn run_scenario(seed: u64) -> u64 {
         }
     }
 
+    // Write batching was exercised: under load (broadcast fan-out, ack
+    // bursts, frames queued across the sever) at least some socket writes
+    // must have carried more than one coalesced frame.
+    let total_writes: u64 = done.iter().map(|(_, s)| s.total_writes()).sum();
+    let total_frames: u64 = done.iter().map(|(_, s)| s.total_frames_written()).sum();
+    assert!(total_writes > 0, "no socket writes recorded");
+    assert!(
+        total_frames > total_writes,
+        "no write batching observed: {total_frames} frames in {total_writes} writes"
+    );
+
     reconnects_01
 }
