@@ -17,9 +17,9 @@
 use causal_bench::table::fmt_ms;
 use causal_bench::Table;
 use causal_clocks::{ProcessId, VectorClock};
-use causal_core::delivery::VtEnvelope;
-use causal_core::node::{BcastApp, BcastEmitter, CausalApp, CausalNode, CbcastNode, Emitter};
-use causal_core::osend::{GraphEnvelope, OccursAfter};
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, CausalNode, CbcastNode, Emitter};
+use causal_core::osend::OccursAfter;
 use causal_simnet::{FaultPlan, Histogram, LatencyModel, NetConfig, SimDuration, Simulation};
 
 const OPS: usize = 150;
@@ -30,15 +30,16 @@ fn net(drop: f64) -> NetConfig {
         .faults(FaultPlan::new().with_drop_prob(drop))
 }
 
-/// Graph arm: no declared dependencies at all.
+/// Both arms host the same app: no declared dependencies at all. The
+/// unified [`App`] runs unchanged over the graph and vector-clock engines.
 #[derive(Debug, Default)]
 struct Independent {
     delivered: u64,
 }
 
-impl CausalApp for Independent {
+impl App for Independent {
     type Op = u64;
-    fn on_deliver(&mut self, _env: &GraphEnvelope<u64>, _out: &mut Emitter<u64>) {
+    fn on_deliver(&mut self, _env: Delivered<'_, u64>, _out: &mut Emitter<u64>) {
         self.delivered += 1;
     }
 }
@@ -73,23 +74,28 @@ fn run_graph(n: usize, drop: f64) -> (f64, u64, usize) {
     )
 }
 
-/// CBCAST arm: the same independent operations; the app records vector
-/// timestamps so forced (incidental) orderings can be counted.
-#[derive(Debug, Default)]
-struct VtRecorder {
-    log: Vec<VectorClock>,
-}
-
-impl BcastApp for VtRecorder {
-    type Op = u64;
-    fn on_deliver(&mut self, env: &VtEnvelope<u64>, _out: &mut BcastEmitter<u64>) {
-        self.log.push(env.vt.clone());
+/// Reconstructs every message's vector timestamp from the senders' own
+/// delivery logs: CBCAST self-delivers at broadcast, so the prefix of a
+/// sender's log before its own message pins exactly what it had seen when
+/// it stamped the clock.
+fn reconstruct_vts(logs: &[Vec<causal_clocks::MsgId>], n: usize) -> Vec<VectorClock> {
+    let mut vts = Vec::new();
+    for (i, log) in logs.iter().enumerate() {
+        let me = ProcessId::new(i as u32);
+        let mut clock = VectorClock::new(n);
+        for &m in log {
+            clock.increment(m.origin());
+            if m.origin() == me {
+                vts.push(clock.clone());
+            }
+        }
     }
+    vts
 }
 
 fn run_cbcast(n: usize, drop: f64) -> (f64, u64, usize) {
-    let nodes: Vec<CbcastNode<VtRecorder>> = (0..n)
-        .map(|i| CbcastNode::new(ProcessId::new(i as u32), n, VtRecorder::default()))
+    let nodes: Vec<CbcastNode<Independent>> = (0..n)
+        .map(|i| CbcastNode::new(ProcessId::new(i as u32), n, Independent::default()))
         .collect();
     let mut sim = Simulation::new(nodes, net(drop), SEED);
     let mut deadline = sim.now();
@@ -104,11 +110,15 @@ fn run_cbcast(n: usize, drop: f64) -> (f64, u64, usize) {
     for i in 0..n {
         lat.merge(&sim.node(ProcessId::new(i as u32)).stats().delivery_latency);
     }
-    // Incidentally ordered pairs, counted on one member's vt log.
-    let log = &sim.node(ProcessId::new(0)).app().log;
+    // Incidentally ordered pairs, counted over the reconstructed vector
+    // timestamps of every message sent in the run.
+    let logs: Vec<_> = (0..n)
+        .map(|i| sim.node(ProcessId::new(i as u32)).log().to_vec())
+        .collect();
+    let vts = reconstruct_vts(&logs, n);
     let mut ordered = 0usize;
-    for (i, a) in log.iter().enumerate() {
-        for b in &log[i + 1..] {
+    for (i, a) in vts.iter().enumerate() {
+        for b in &vts[i + 1..] {
             if !a.concurrent_with(b) && a != b {
                 ordered += 1;
             }

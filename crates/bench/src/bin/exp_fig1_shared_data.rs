@@ -36,7 +36,9 @@ fn run(n: usize, drop: f64) -> (bool, usize, f64, u64) {
             line: (rev % 3) as u64,
             text: format!("rev {rev} content"),
         };
-        let edit = sim.poke(editor, move |node, ctx| node.osend(ctx, edit_op, after));
+        let edit = sim
+            .poke(editor, move |node, ctx| node.osend(ctx, edit_op, after))
+            .unwrap();
         sim.run_to_quiescence();
 
         // Concurrent annotations from several participants.
@@ -47,16 +49,21 @@ fn run(n: usize, drop: f64) -> (bool, usize, f64, u64) {
                 line: (rev % 3) as u64,
                 note: format!("note {a} on rev {rev}"),
             };
-            notes.push(sim.poke(annotator, move |node, ctx| {
-                node.osend(ctx, op, OccursAfter::message(edit))
-            }));
+            notes.push(
+                sim.poke(annotator, move |node, ctx| {
+                    node.osend(ctx, op, OccursAfter::message(edit))
+                })
+                .unwrap(),
+            );
         }
         sim.run_to_quiescence();
 
         // Commit closes the revision.
-        let commit = sim.poke(editor, move |node, ctx| {
-            node.osend(ctx, DocOp::Commit, OccursAfter::all(notes.clone()))
-        });
+        let commit = sim
+            .poke(editor, move |node, ctx| {
+                node.osend(ctx, DocOp::Commit, OccursAfter::all(notes.clone()))
+            })
+            .unwrap();
         sim.run_to_quiescence();
         prev_commit = Some(commit);
     }

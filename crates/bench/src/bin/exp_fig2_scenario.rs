@@ -30,16 +30,22 @@ fn main() {
 
         // ak generates mk; ai and aj react concurrently; a closing read
         // (the paper's synchronization point) restores agreement.
-        let mk = sim.poke(p(2), |n, ctx| {
-            n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
-        });
+        let mk = sim
+            .poke(p(2), |n, ctx| {
+                n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
-        let mi = sim.poke(p(0), |n, ctx| {
-            n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
-        });
-        let mj = sim.poke(p(1), |n, ctx| {
-            n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
-        });
+        let mi = sim
+            .poke(p(0), |n, ctx| {
+                n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
+            })
+            .unwrap();
+        let mj = sim
+            .poke(p(1), |n, ctx| {
+                n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
+            })
+            .unwrap();
         sim.run_to_quiescence();
         sim.poke(p(2), |n, ctx| {
             n.osend(ctx, CounterOp::Read, OccursAfter::all([mi, mj]))
@@ -89,16 +95,22 @@ fn main() {
         let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 8000));
         let mut sim = Simulation::new(nodes, cfg, 1);
         sim.enable_trace();
-        let mk = sim.poke(p(2), |n, ctx| {
-            n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
-        });
+        let mk = sim
+            .poke(p(2), |n, ctx| {
+                n.osend(ctx, CounterOp::Set(10), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
-        let mi = sim.poke(p(0), |n, ctx| {
-            n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
-        });
-        let mj = sim.poke(p(1), |n, ctx| {
-            n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
-        });
+        let mi = sim
+            .poke(p(0), |n, ctx| {
+                n.osend(ctx, CounterOp::Inc(1), OccursAfter::message(mk))
+            })
+            .unwrap();
+        let mj = sim
+            .poke(p(1), |n, ctx| {
+                n.osend(ctx, CounterOp::Inc(2), OccursAfter::message(mk))
+            })
+            .unwrap();
         sim.run_to_quiescence();
         sim.poke(p(2), |n, ctx| {
             n.osend(ctx, CounterOp::Read, OccursAfter::all([mi, mj]))

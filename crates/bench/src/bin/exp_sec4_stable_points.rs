@@ -49,9 +49,11 @@ fn run_stable_points(n: usize, update_interval: SimDuration) -> (f64, f64) {
         for k in 0..UPDATES_PER_CYCLE {
             let submitter = ProcessId::new(((cycle * UPDATES_PER_CYCLE + k) % n) as u32);
             let after = fe.ordering_for(OpClass::Commutative);
-            let id = sim.poke(submitter, move |node, ctx| {
-                node.osend(ctx, CounterOp::Inc(1), after)
-            });
+            let id = sim
+                .poke(submitter, move |node, ctx| {
+                    node.osend(ctx, CounterOp::Inc(1), after)
+                })
+                .unwrap();
             fe.record(id, OpClass::Commutative);
             let deadline = sim.now() + update_interval;
             sim.run_until(deadline);
@@ -59,9 +61,11 @@ fn run_stable_points(n: usize, update_interval: SimDuration) -> (f64, f64) {
         // The agreed read: closes the open commutative set.
         let after = fe.ordering_for(OpClass::NonCommutative);
         let submitted_at = sim.now();
-        let id = sim.poke(ProcessId::new(0), move |node, ctx| {
-            node.osend(ctx, CounterOp::Read, after)
-        });
+        let id = sim
+            .poke(ProcessId::new(0), move |node, ctx| {
+                node.osend(ctx, CounterOp::Read, after)
+            })
+            .unwrap();
         fe.record(id, OpClass::NonCommutative);
         read_submit_times.push((id, submitted_at));
     }

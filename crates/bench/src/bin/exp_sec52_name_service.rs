@@ -78,7 +78,9 @@ fn run_spontaneous(n: usize, query_share: f64, interval: SimDuration) -> Spontan
                 Some(prev) => OccursAfter::message(prev),
                 None => OccursAfter::none(),
             };
-            let id = sim.poke(submitter, move |node, ctx| node.osend(ctx, op, after));
+            let id = sim
+                .poke(submitter, move |node, ctx| node.osend(ctx, op, after))
+                .unwrap();
             last_upd[member] = Some(id);
         }
         let deadline = sim.now() + interval;

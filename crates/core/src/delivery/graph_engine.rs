@@ -1,9 +1,10 @@
 //! Explicit-graph causal delivery: a message waits for its declared
 //! dependencies only.
 
+use super::{Delivered, DeliveryEngine};
 use crate::graph::MsgGraph;
-use crate::osend::GraphEnvelope;
-use causal_clocks::{MsgId, VectorClock};
+use crate::osend::{GraphEnvelope, OSender, OccursAfter};
+use causal_clocks::{MsgId, ProcessId, VectorClock};
 use std::collections::{HashMap, HashSet};
 
 /// Per-member delivery engine for [`GraphEnvelope`]s.
@@ -66,10 +67,14 @@ pub struct GraphDelivery<P> {
     /// Whether to maintain the delivered [`MsgGraph`] (analysis aid;
     /// disable for long-running compacted deployments).
     track_graph: bool,
+    /// Sending endpoint, present when the engine was built for a member
+    /// (see [`DeliveryEngine::for_member`]). Receive-only engines
+    /// (validators, tests) have none.
+    sender: Option<OSender>,
 }
 
 impl<P> GraphDelivery<P> {
-    /// Creates an engine with nothing delivered.
+    /// Creates a receive-only engine with nothing delivered.
     pub fn new() -> Self {
         GraphDelivery {
             delivered: HashSet::new(),
@@ -82,6 +87,7 @@ impl<P> GraphDelivery<P> {
             duplicates: 0,
             compacted: None,
             track_graph: true,
+            sender: None,
         }
     }
 
@@ -256,6 +262,65 @@ impl<P> GraphDelivery<P> {
 impl<P> Default for GraphDelivery<P> {
     fn default() -> Self {
         GraphDelivery::new()
+    }
+}
+
+impl<P: Clone> DeliveryEngine for GraphDelivery<P> {
+    type Op = P;
+    type Envelope = GraphEnvelope<P>;
+
+    /// Group size is irrelevant to the explicit-graph engine: ordering
+    /// state is per-message, not per-member.
+    fn for_member(me: ProcessId, _n: usize) -> Self {
+        let mut engine = GraphDelivery::new();
+        engine.sender = Some(OSender::new(me));
+        engine
+    }
+
+    fn send(&mut self, op: P, after: OccursAfter) -> (GraphEnvelope<P>, Vec<GraphEnvelope<P>>) {
+        let env = self
+            .sender
+            .as_mut()
+            .expect("receive-only engine cannot send (construct with for_member)")
+            .osend(op, after);
+        let released = self.on_receive(env.clone());
+        (env, released)
+    }
+
+    fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
+        GraphDelivery::on_receive(self, env)
+    }
+
+    fn view<'a>(env: &'a GraphEnvelope<P>) -> Delivered<'a, P> {
+        Delivered {
+            id: env.id,
+            deps: Some(&env.deps),
+            payload: &env.payload,
+        }
+    }
+
+    fn log(&self) -> &[MsgId] {
+        GraphDelivery::log(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        GraphDelivery::pending_len(self)
+    }
+
+    fn duplicates(&self) -> u64 {
+        GraphDelivery::duplicates(self)
+    }
+
+    fn enable_gc_mode(&mut self) {
+        self.track_graph = false;
+    }
+
+    fn compact(&mut self, stable: &VectorClock) {
+        GraphDelivery::compact(self, stable);
+    }
+
+    fn retained_len(&self) -> usize {
+        GraphDelivery::retained_len(self)
     }
 }
 

@@ -14,7 +14,7 @@
 //! Two weaker engines serve as baselines: [`FifoDelivery`] (per-sender
 //! order only) and no engine at all (process on receipt).
 //!
-//! The [`reference`] module preserves the seed (pre-indexing)
+//! The [`mod@reference`] module preserves the seed (pre-indexing)
 //! implementations of both causal engines for differential testing and
 //! benchmarking; protocol code should never use them.
 
@@ -26,3 +26,107 @@ mod vector_engine;
 pub use fifo::{FifoDelivery, FifoEnvelope};
 pub use graph_engine::GraphDelivery;
 pub use vector_engine::{CbcastEngine, VtEnvelope};
+
+use crate::osend::OccursAfter;
+use crate::rbcast::HasMsgId;
+use causal_clocks::{MsgId, ProcessId, VectorClock};
+
+/// Engine-agnostic view of one delivered message, handed to the unified
+/// [`App`](crate::stack::App) trait.
+///
+/// The explicit-graph engines expose the declared `Occurs-After` set in
+/// `deps`; the vector-clock engines order by *potential* causality and
+/// carry no per-message dependency set, so `deps` is `None` (which also
+/// disables stable-point detection, exactly as the paper's §4 detection
+/// rule requires the explicit relation).
+#[derive(Debug, Clone, Copy)]
+pub struct Delivered<'a, Op> {
+    /// Unique message identity (origin + per-origin sequence).
+    pub id: MsgId,
+    /// Declared direct causal predecessors, if the engine tracks them.
+    pub deps: Option<&'a [MsgId]>,
+    /// The application payload.
+    pub payload: &'a Op,
+}
+
+impl<'a, Op> Delivered<'a, Op> {
+    /// Views a graph envelope as a delivered message. Handy when feeding
+    /// apps by hand in tests without running an engine.
+    pub fn from_graph(env: &'a crate::osend::GraphEnvelope<Op>) -> Self {
+        Delivered {
+            id: env.id,
+            deps: Some(&env.deps),
+            payload: &env.payload,
+        }
+    }
+
+    /// Views a vector-clock envelope as a delivered message (no explicit
+    /// dependency set).
+    pub fn from_vt(env: &'a VtEnvelope<Op>) -> Self {
+        Delivered {
+            id: env.id,
+            deps: None,
+            payload: &env.payload,
+        }
+    }
+}
+
+/// A causal delivery engine pluggable into
+/// [`ProtocolStack`](crate::stack::ProtocolStack): the layer that decides
+/// *when* a received envelope may be released to the application.
+///
+/// Implemented by [`GraphDelivery`] (explicit `Occurs-After` graphs, the
+/// paper's semantic causality), [`CbcastEngine`] (vector clocks, ISIS
+/// CBCAST potential causality), and their seed reference implementations
+/// in [`mod@reference`] (used for differential testing).
+pub trait DeliveryEngine {
+    /// The application operation type carried in envelopes.
+    type Op: Clone;
+    /// The engine's wire envelope.
+    type Envelope: HasMsgId + Clone;
+
+    /// Creates the sending-capable engine for member `me` of a group of
+    /// `n`. Engines that size per-member state (vector clocks) panic if
+    /// `me` is outside the group; graph engines ignore `n`.
+    fn for_member(me: ProcessId, n: usize) -> Self;
+
+    /// Stamps `op` into a broadcast envelope ordered after `after` and
+    /// self-delivers it. Returns the envelope to disseminate plus every
+    /// envelope the self-delivery released locally (the new message and
+    /// any messages it unblocked).
+    ///
+    /// Engines that infer ordering from delivery history (vector clocks)
+    /// ignore `after`: anything already delivered locally is covered by
+    /// the clock stamp.
+    fn send(&mut self, op: Self::Op, after: OccursAfter) -> (Self::Envelope, Vec<Self::Envelope>);
+
+    /// Handles an envelope received from the network; returns the
+    /// envelopes released to the application, in delivery order.
+    fn on_receive(&mut self, env: Self::Envelope) -> Vec<Self::Envelope>;
+
+    /// Projects an envelope to the engine-agnostic delivered view.
+    fn view<'a>(env: &'a Self::Envelope) -> Delivered<'a, Self::Op>;
+
+    /// The delivery log so far (message ids in delivery order).
+    fn log(&self) -> &[MsgId];
+
+    /// Messages buffered awaiting causal predecessors.
+    fn pending_len(&self) -> usize;
+
+    /// Duplicate receptions absorbed so far.
+    fn duplicates(&self) -> u64;
+
+    /// Switches off unbounded analysis records (e.g. the retained
+    /// dependency graph) for long-running GC deployments. Default: no-op.
+    fn enable_gc_mode(&mut self) {}
+
+    /// Forgets per-message state for the globally stable prefix. Engines
+    /// without compaction support ignore the call.
+    fn compact(&mut self, _stable: &VectorClock) {}
+
+    /// Per-message entries currently retained (what [`compact`](Self::compact)
+    /// bounds). Engines without compaction report 0.
+    fn retained_len(&self) -> usize {
+        0
+    }
+}

@@ -13,11 +13,11 @@
 //! pending buffer after every delivery, which is O(pending) per delivery
 //! and quadratic under out-of-order bursts.
 
-use crate::osend::GraphEnvelope;
+use crate::osend::{GraphEnvelope, OSender, OccursAfter};
 use causal_clocks::{DeliveryCheck, MsgId, ProcessId, VectorClock};
 use std::collections::{HashMap, HashSet};
 
-use super::VtEnvelope;
+use super::{Delivered, DeliveryEngine, VtEnvelope};
 
 /// The seed CBCAST engine: a flat pending `Vec` rescanned linearly after
 /// every delivery.
@@ -147,6 +147,9 @@ pub struct ScanGraphDelivery<P> {
     waiters: HashMap<MsgId, Vec<MsgId>>,
     seen: HashSet<MsgId>,
     duplicates: u64,
+    /// Sending endpoint, present when built via
+    /// [`DeliveryEngine::for_member`].
+    sender: Option<OSender>,
 }
 
 impl<P> ScanGraphDelivery<P> {
@@ -159,6 +162,7 @@ impl<P> ScanGraphDelivery<P> {
             waiters: HashMap::new(),
             seen: HashSet::new(),
             duplicates: 0,
+            sender: None,
         }
     }
 
@@ -233,6 +237,89 @@ impl<P> ScanGraphDelivery<P> {
 impl<P> Default for ScanGraphDelivery<P> {
     fn default() -> Self {
         ScanGraphDelivery::new()
+    }
+}
+
+impl<P: Clone> DeliveryEngine for FlatCbcastEngine<P> {
+    type Op = P;
+    type Envelope = VtEnvelope<P>;
+
+    fn for_member(me: ProcessId, n: usize) -> Self {
+        FlatCbcastEngine::new(me, n)
+    }
+
+    fn send(&mut self, op: P, _after: OccursAfter) -> (VtEnvelope<P>, Vec<VtEnvelope<P>>) {
+        let env = self.broadcast(op);
+        (env.clone(), vec![env])
+    }
+
+    fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
+        FlatCbcastEngine::on_receive(self, env)
+    }
+
+    fn view<'a>(env: &'a VtEnvelope<P>) -> Delivered<'a, P> {
+        Delivered {
+            id: env.id,
+            deps: None,
+            payload: &env.payload,
+        }
+    }
+
+    fn log(&self) -> &[MsgId] {
+        FlatCbcastEngine::log(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        FlatCbcastEngine::pending_len(self)
+    }
+
+    fn duplicates(&self) -> u64 {
+        FlatCbcastEngine::duplicates(self)
+    }
+}
+
+impl<P: Clone> DeliveryEngine for ScanGraphDelivery<P> {
+    type Op = P;
+    type Envelope = GraphEnvelope<P>;
+
+    fn for_member(me: ProcessId, _n: usize) -> Self {
+        let mut engine = ScanGraphDelivery::new();
+        engine.sender = Some(OSender::new(me));
+        engine
+    }
+
+    fn send(&mut self, op: P, after: OccursAfter) -> (GraphEnvelope<P>, Vec<GraphEnvelope<P>>) {
+        let env = self
+            .sender
+            .as_mut()
+            .expect("receive-only engine cannot send (construct with for_member)")
+            .osend(op, after);
+        let released = self.on_receive(env.clone());
+        (env, released)
+    }
+
+    fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
+        ScanGraphDelivery::on_receive(self, env)
+    }
+
+    fn view<'a>(env: &'a GraphEnvelope<P>) -> Delivered<'a, P> {
+        Delivered {
+            id: env.id,
+            deps: Some(&env.deps),
+            payload: &env.payload,
+        }
+    }
+
+    fn log(&self) -> &[MsgId] {
+        ScanGraphDelivery::log(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        ScanGraphDelivery::pending_len(self)
+    }
+
+    fn duplicates(&self) -> u64 {
+        ScanGraphDelivery::duplicates(self)
     }
 }
 

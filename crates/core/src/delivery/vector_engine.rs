@@ -284,6 +284,51 @@ impl<P> CbcastEngine<P> {
     }
 }
 
+impl<P: Clone> super::DeliveryEngine for CbcastEngine<P> {
+    type Op = P;
+    type Envelope = VtEnvelope<P>;
+
+    fn for_member(me: ProcessId, n: usize) -> Self {
+        CbcastEngine::new(me, n)
+    }
+
+    /// The `after` predicate is ignored: vector-clock causality already
+    /// orders the broadcast after everything delivered locally, which
+    /// covers (and over-approximates) any deliverable `Occurs-After` set.
+    fn send(
+        &mut self,
+        op: P,
+        _after: crate::osend::OccursAfter,
+    ) -> (VtEnvelope<P>, Vec<VtEnvelope<P>>) {
+        let env = self.broadcast(op);
+        (env.clone(), vec![env])
+    }
+
+    fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
+        CbcastEngine::on_receive(self, env)
+    }
+
+    fn view<'a>(env: &'a VtEnvelope<P>) -> super::Delivered<'a, P> {
+        super::Delivered {
+            id: env.id,
+            deps: None,
+            payload: &env.payload,
+        }
+    }
+
+    fn log(&self) -> &[MsgId] {
+        CbcastEngine::log(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        CbcastEngine::pending_len(self)
+    }
+
+    fn duplicates(&self) -> u64 {
+        CbcastEngine::duplicates(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

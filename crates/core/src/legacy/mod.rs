@@ -1,0 +1,19 @@
+//! The pre-refactor protocol nodes, preserved verbatim for differential
+//! testing.
+//!
+//! Before the unified [`stack`](crate::stack), the Figure-4 layering was
+//! hand-wired three times: `CausalNode` and `CbcastNode` in [`node`] and
+//! `VsyncNode` in [`vsync`]. These are byte-for-byte copies of that
+//! wiring (only the cross-module imports were repointed), compiled under
+//! `cfg(test)` only. They keep their original unit tests, and
+//! [`differential`] drives them head-to-head against the unified stack on
+//! random schedules, asserting byte-identical delivery logs, stable-point
+//! sequences, and replica states.
+//!
+//! Do not extend these. New behavior goes in the stack; this module only
+//! pins what the refactor promised to preserve.
+
+pub mod node;
+pub mod vsync;
+
+mod differential;

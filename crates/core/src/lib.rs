@@ -23,7 +23,9 @@
 //! | State transitions `F : M × S → S`, commutativity (§3.2, §5.1) | [`statemachine`] |
 //! | Consistency validation across replicas | [`check`] |
 //! | Reliable broadcast over a lossy network | [`rbcast`] |
-//! | Simulation glue: a group node running the full stack | [`node`] |
+//! | The composed Figure-4 stack around a pluggable engine | [`stack`] |
+//! | Engine aliases over the stack ([`node::CausalNode`], [`node::CbcastNode`]) | [`node`] |
+//! | View-synchronous membership over the stack ([`vsync::VsyncNode`]) | [`vsync`] |
 //!
 //! # Examples
 //!
@@ -59,11 +61,15 @@
 pub mod check;
 pub mod delivery;
 pub mod graph;
+#[cfg(test)]
+#[allow(dead_code)]
+mod legacy;
 pub mod node;
 pub mod osend;
 pub mod rbcast;
 pub mod stability;
 pub mod stable;
+pub mod stack;
 pub mod statemachine;
 pub mod total;
 pub mod vsync;

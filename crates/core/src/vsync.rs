@@ -2,9 +2,11 @@
 //!
 //! The paper realizes causal broadcasting "by organizing various entities
 //! as members of a group" (§3) in the style of ISIS — which implies
-//! handling members that crash. [`VsyncNode`] integrates the full data
-//! stack of [`CausalNode`](crate::node::CausalNode) with the
-//! [`membership`](causal_membership) substrate:
+//! handling members that crash. [`VsyncNode`] is the unified
+//! [`ProtocolStack`](crate::stack::ProtocolStack) built with
+//! [`with_membership`](crate::stack::ProtocolStack::with_membership): the
+//! same data stack as [`CausalNode`](crate::node::CausalNode), with the
+//! [`membership`](causal_membership) substrate threaded through it:
 //!
 //! - members heartbeat; the view coordinator suspects silent members and
 //!   proposes the shrunken view;
@@ -22,541 +24,72 @@
 //! keeps the paper's stable-point agreement sound across failures.
 //!
 //! **Joins** are supported symmetrically: a node built with
-//! [`VsyncNode::joining`] contacts any member, the request is relayed to
-//! the coordinator, and on installation the existing members (a) target
-//! future broadcasts at the joiner, (b) extend their in-flight
-//! unacknowledged sets to it, and (c) reliably replay their delivered
-//! history (log-replay state transfer) — together covering every message
-//! of the old views, with the joiner's duplicate suppression absorbing
-//! the overlap.
+//! [`ProtocolStack::joining`](crate::stack::ProtocolStack::joining)
+//! contacts any member, the request is relayed to the coordinator, and on
+//! installation the existing members (a) target future broadcasts at the
+//! joiner, (b) extend their in-flight unacknowledged sets to it, and (c)
+//! reliably replay their delivered history (log-replay state transfer) —
+//! together covering every message of the old views, with the joiner's
+//! duplicate suppression absorbing the overlap.
+//!
+//! Because membership is part of the one stack, a virtually synchronous
+//! group runs unchanged over the simulator **and** the `causal-net` TCP
+//! transport (see `tests/tcp_vsync.rs` at the workspace root).
 
-use crate::delivery::GraphDelivery;
-use crate::node::{CausalApp, Emitter, Timed};
-use crate::osend::{GraphEnvelope, OSender, OccursAfter};
-use crate::rbcast::{RbMsg, ReliableBroadcast};
-use crate::stable::StablePointDetector;
-use crate::statemachine::OpClass;
-use causal_clocks::{MsgId, ProcessId};
-use causal_membership::{
-    FlushStatus, GroupView, HeartbeatDetector, ManagerAction, ViewId, ViewManager,
-};
-use causal_simnet::{Actor, Context, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use crate::osend::GraphEnvelope;
+use crate::stack::{App, StackWire};
 
-/// Wire messages of a virtually synchronous group.
-#[derive(Debug, Clone)]
-pub enum VsyncWire<Op> {
-    /// Reliability-layer data or acknowledgement.
-    Rb(RbMsg<Timed<GraphEnvelope<Op>>>),
-    /// Liveness beacon.
-    Heartbeat,
-    /// Coordinator proposes the next view.
-    Propose(GroupView),
-    /// Survivor has flushed for the proposed view.
-    FlushAck(ViewId),
-    /// Coordinator finalizes the view.
-    Install(GroupView),
-    /// A node outside the group asks the contacted member to admit it
-    /// (forwarded to the coordinator if the contact is not it).
-    JoinReq {
-        /// The node requesting admission.
-        joiner: ProcessId,
-    },
-}
-
-const TIMER_HEARTBEAT: u64 = 10;
-const TIMER_FD_CHECK: u64 = 11;
-const TIMER_RETRANSMIT: u64 = 12;
-const TIMER_JOIN_RETRY: u64 = 13;
-
-/// Timing configuration of the membership machinery.
-#[derive(Debug, Clone, Copy)]
-pub struct VsyncConfig {
-    /// Heartbeat period.
-    pub heartbeat_every: SimDuration,
-    /// Silence threshold after which a member is suspected.
-    pub suspect_after: SimDuration,
-    /// Coordinator's failure-detector polling period.
-    pub check_every: SimDuration,
-    /// Reliability-layer retransmission period.
-    pub retransmit_every: SimDuration,
-}
-
-impl Default for VsyncConfig {
-    fn default() -> Self {
-        VsyncConfig {
-            heartbeat_every: SimDuration::from_millis(1),
-            suspect_after: SimDuration::from_millis(6),
-            check_every: SimDuration::from_millis(2),
-            retransmit_every: SimDuration::from_millis(4),
-        }
-    }
-}
+pub use crate::stack::VsyncConfig;
 
 /// A group member running the causal data path under virtually
-/// synchronous membership.
+/// synchronous membership: the unified stack over the graph engine with
+/// membership enabled. Construct with
+/// [`ProtocolStack::with_membership`](crate::stack::ProtocolStack::with_membership)
+/// or [`ProtocolStack::joining`](crate::stack::ProtocolStack::joining).
 ///
 /// Timers run for the lifetime of the group, so simulations drive this
 /// node with [`run_until`](causal_simnet::Simulation::run_until) rather
 /// than `run_to_quiescence`.
-#[derive(Debug)]
-pub struct VsyncNode<A: CausalApp> {
-    me: ProcessId,
+pub type VsyncNode<A> = crate::stack::CausalNode<A>;
+
+/// Wire messages of a virtually synchronous group.
+pub type VsyncWire<Op> = StackWire<GraphEnvelope<Op>>;
+
+/// Convenience constructor mirroring the stack's builder: member `me` of
+/// an initial group of `n` hosting `app` under `config`.
+///
+/// # Panics
+///
+/// Panics if `me` is outside the group.
+pub fn vsync_node<A: App>(
+    me: causal_clocks::ProcessId,
+    n: usize,
     app: A,
-    osender: OSender,
-    delivery: GraphDelivery<A::Op>,
-    detector: StablePointDetector,
-    rb: ReliableBroadcast<Timed<GraphEnvelope<A::Op>>>,
-    manager: ViewManager,
-    fd: HeartbeatDetector,
     config: VsyncConfig,
-    /// Envelopes delivered, retained for flush re-broadcast.
-    store: Vec<Timed<GraphEnvelope<A::Op>>>,
-    /// Sends requested while a view change was flushing.
-    outbox: VecDeque<(A::Op, OccursAfter)>,
-    sent_times: HashMap<MsgId, SimTime>,
-    crashed: bool,
-    installed_views: Vec<GroupView>,
-    rtx_armed: bool,
-    /// `Some(contact)` while this node is outside the group trying to join.
-    joining_via: Option<ProcessId>,
-}
-
-impl<A: CausalApp> VsyncNode<A> {
-    /// Creates member `me` of an initial group of `n` hosting `app`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `me` is outside the group.
-    pub fn new(me: ProcessId, n: usize, app: A, config: VsyncConfig) -> Self {
-        VsyncNode {
-            me,
-            app,
-            osender: OSender::new(me),
-            delivery: GraphDelivery::new(),
-            detector: StablePointDetector::new(),
-            rb: ReliableBroadcast::new(me, n),
-            manager: ViewManager::new(me, GroupView::initial(n)),
-            fd: HeartbeatDetector::new(config.suspect_after.as_micros()),
-            config,
-            store: Vec::new(),
-            outbox: VecDeque::new(),
-            sent_times: HashMap::new(),
-            crashed: false,
-            installed_views: Vec::new(),
-            rtx_armed: false,
-            joining_via: None,
-        }
-    }
-
-    /// Creates a node **outside** the group that will ask `contact` to
-    /// admit it. Until its first view installs, the node neither
-    /// broadcasts nor heartbeats; once admitted it receives the full
-    /// message history (log-replay state transfer) from the existing
-    /// members and participates normally.
-    pub fn joining(me: ProcessId, contact: ProcessId, app: A, config: VsyncConfig) -> Self {
-        use causal_membership::ViewId;
-        VsyncNode {
-            me,
-            app,
-            osender: OSender::new(me),
-            delivery: GraphDelivery::new(),
-            detector: StablePointDetector::new(),
-            rb: ReliableBroadcast::with_peers(me, []),
-            manager: ViewManager::new(me, GroupView::new(ViewId::initial(), [me])),
-            fd: HeartbeatDetector::new(config.suspect_after.as_micros()),
-            config,
-            store: Vec::new(),
-            outbox: VecDeque::new(),
-            sent_times: HashMap::new(),
-            crashed: false,
-            installed_views: Vec::new(),
-            rtx_armed: false,
-            joining_via: Some(contact),
-        }
-    }
-
-    /// `true` while this node is still outside the group awaiting its
-    /// first installed view.
-    pub fn is_joining(&self) -> bool {
-        self.joining_via.is_some()
-    }
-
-    /// Silences this member from `now` on (test control: models a crash).
-    pub fn crash(&mut self) {
-        self.crashed = true;
-    }
-
-    /// `true` if this member has been crashed.
-    pub fn is_crashed(&self) -> bool {
-        self.crashed
-    }
-
-    /// The hosted application.
-    pub fn app(&self) -> &A {
-        &self.app
-    }
-
-    /// The currently installed view.
-    pub fn view(&self) -> &GroupView {
-        self.manager.current()
-    }
-
-    /// Views installed after the initial one.
-    pub fn installed_views(&self) -> &[GroupView] {
-        &self.installed_views
-    }
-
-    /// This member's delivery log.
-    pub fn log(&self) -> &[MsgId] {
-        self.delivery.log()
-    }
-
-    /// Messages buffered awaiting causal predecessors.
-    pub fn pending_len(&self) -> usize {
-        self.delivery.pending_len()
-    }
-
-    /// Broadcasts `op` ordered after `after`. While a view change is
-    /// flushing, the send is parked and drains at installation (the flush
-    /// barrier). Returns the id when sent immediately.
-    pub fn osend(
-        &mut self,
-        ctx: &mut Context<'_, VsyncWire<A::Op>>,
-        op: A::Op,
-        after: OccursAfter,
-    ) -> Option<MsgId> {
-        if self.crashed {
-            return None;
-        }
-        if self.manager.status() == FlushStatus::Flushing {
-            self.outbox.push_back((op, after));
-            return None;
-        }
-        let released = self.transmit(ctx, op, after);
-        let id = self.osender.last_sent();
-        self.process_released(ctx, released);
-        id
-    }
-
-    fn transmit(
-        &mut self,
-        ctx: &mut Context<'_, VsyncWire<A::Op>>,
-        op: A::Op,
-        after: OccursAfter,
-    ) -> Vec<GraphEnvelope<A::Op>> {
-        let env = self.osender.osend(op, after);
-        let timed = Timed {
-            env: env.clone(),
-            sent_at: ctx.now(),
-        };
-        for (to, msg) in self.rb.broadcast(timed) {
-            ctx.send(to, VsyncWire::Rb(msg));
-        }
-        self.arm_retransmit(ctx);
-        self.sent_times.insert(env.id, ctx.now());
-        self.delivery.on_receive(env)
-    }
-
-    fn arm_retransmit(&mut self, ctx: &mut Context<'_, VsyncWire<A::Op>>) {
-        if !self.rtx_armed && self.rb.has_pending() {
-            ctx.set_timer(self.config.retransmit_every, TIMER_RETRANSMIT);
-            self.rtx_armed = true;
-        }
-    }
-
-    fn process_released(
-        &mut self,
-        ctx: &mut Context<'_, VsyncWire<A::Op>>,
-        released: Vec<GraphEnvelope<A::Op>>,
-    ) {
-        let mut queue: VecDeque<GraphEnvelope<A::Op>> = released.into();
-        while let Some(env) = queue.pop_front() {
-            let sent_at = self
-                .sent_times
-                .get(&env.id)
-                .copied()
-                .unwrap_or_else(|| ctx.now());
-            self.store.push(Timed {
-                env: env.clone(),
-                sent_at,
-            });
-            let candidate = self.app.classify(&env.payload) == OpClass::NonCommutative;
-            let sp = self.detector.on_deliver(env.id, &env.deps, candidate);
-            let mut out = Emitter::new();
-            self.app.on_deliver(&env, &mut out);
-            if let Some(sp) = sp {
-                self.app.on_stable_point(sp, &mut out);
-            }
-            for (op, after) in out.drain() {
-                if self.manager.status() == FlushStatus::Flushing {
-                    self.outbox.push_back((op, after));
-                } else {
-                    queue.extend(self.transmit(ctx, op, after));
-                }
-            }
-        }
-    }
-
-    fn perform(&mut self, ctx: &mut Context<'_, VsyncWire<A::Op>>, actions: Vec<ManagerAction>) {
-        for action in actions {
-            match action {
-                ManagerAction::BeginFlush { view } => {
-                    // Virtual-synchrony flush: push the messages we have
-                    // delivered from members being removed out to every
-                    // survivor (duplicates are absorbed), so nobody misses
-                    // a message only some survivors saw.
-                    let removed: Vec<ProcessId> = self
-                        .manager
-                        .current()
-                        .members()
-                        .iter()
-                        .copied()
-                        .filter(|m| !view.contains(*m))
-                        .collect();
-                    let survivors: Vec<ProcessId> = view
-                        .members()
-                        .iter()
-                        .copied()
-                        .filter(|&m| m != self.me)
-                        .collect();
-                    for timed in &self.store {
-                        if removed.contains(&timed.env.id.origin()) {
-                            for &to in &survivors {
-                                ctx.send(to, VsyncWire::Rb(RbMsg::Data(timed.clone())));
-                            }
-                        }
-                    }
-                    let done = self.manager.flush_complete();
-                    self.perform(ctx, done);
-                }
-                ManagerAction::SendPropose { to, view } => {
-                    for m in to {
-                        ctx.send(m, VsyncWire::Propose(view.clone()));
-                    }
-                }
-                ManagerAction::SendFlushAck { to, view_id } => {
-                    ctx.send(to, VsyncWire::FlushAck(view_id));
-                }
-                ManagerAction::SendInstall { to, view } => {
-                    for m in to {
-                        ctx.send(m, VsyncWire::Install(view.clone()));
-                    }
-                }
-                ManagerAction::Installed(view) => self.on_installed(ctx, view),
-            }
-        }
-    }
-
-    fn on_installed(&mut self, ctx: &mut Context<'_, VsyncWire<A::Op>>, view: GroupView) {
-        // Stop waiting for acknowledgements from removed members.
-        let removed: Vec<ProcessId> = self.rb.peers().filter(|p| !view.contains(*p)).collect();
-        for dead in removed {
-            self.rb.remove_peer(dead);
-            self.fd.forget(dead);
-        }
-        // Admit new members: target future broadcasts at them, extend the
-        // in-flight unacknowledged sets, and replay the delivered history
-        // (log-replay state transfer; their dedupe absorbs overlap with
-        // the in-flight retransmissions).
-        let known: std::collections::BTreeSet<ProcessId> = self.rb.peers().collect();
-        let added: Vec<ProcessId> = view
-            .members()
-            .iter()
-            .copied()
-            .filter(|&m| m != self.me && !known.contains(&m))
-            .collect();
-        for &new in &added {
-            self.rb.add_peer(new);
-            for (to, msg) in self.rb.extend_unacked(new) {
-                ctx.send(to, VsyncWire::Rb(msg));
-            }
-            for (to, msg) in self.rb.replay_to(new, self.store.iter().cloned()) {
-                ctx.send(to, VsyncWire::Rb(msg));
-            }
-            self.arm_retransmit(ctx);
-            self.fd.observe(new, ctx.now().as_micros());
-        }
-        // A joiner installing its first group view is now a member.
-        if self.joining_via.take().is_some() {
-            for m in view.members().to_vec() {
-                if m != self.me {
-                    self.rb.add_peer(m);
-                    self.fd.observe(m, ctx.now().as_micros());
-                }
-            }
-        }
-        self.installed_views.push(view);
-        // The flush barrier lifts: drain parked sends.
-        while let Some((op, after)) = self.outbox.pop_front() {
-            let released = self.transmit(ctx, op, after);
-            self.process_released(ctx, released);
-        }
-    }
-}
-
-impl<A: CausalApp> Actor for VsyncNode<A> {
-    type Msg = VsyncWire<A::Op>;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
-        ctx.set_timer(self.config.heartbeat_every, TIMER_HEARTBEAT);
-        // Every member polls its failure detector: if the coordinator
-        // itself dies, the lowest-ranked live member takes over.
-        ctx.set_timer(self.config.check_every, TIMER_FD_CHECK);
-        if let Some(contact) = self.joining_via {
-            ctx.send(contact, VsyncWire::JoinReq { joiner: self.me });
-            ctx.set_timer(self.config.check_every, TIMER_JOIN_RETRY);
-            return; // apps start only once the node is a member
-        }
-        // Treat everyone as alive at start.
-        for m in self.manager.current().members().to_vec() {
-            if m != self.me {
-                self.fd.observe(m, ctx.now().as_micros());
-            }
-        }
-        let mut out = Emitter::new();
-        self.app.on_start(self.me, &mut out);
-        for (op, after) in out.drain() {
-            let released = self.transmit(ctx, op, after);
-            self.process_released(ctx, released);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
-        if self.crashed {
-            return;
-        }
-        self.fd.observe(from, ctx.now().as_micros());
-        match msg {
-            VsyncWire::Rb(RbMsg::Data(timed)) => {
-                let (fresh, acks) = self.rb.on_data(from, timed);
-                for (to, ack) in acks {
-                    ctx.send(to, VsyncWire::Rb(ack));
-                }
-                if let Some(timed) = fresh {
-                    self.sent_times.entry(timed.env.id).or_insert(timed.sent_at);
-                    let released = self.delivery.on_receive(timed.env);
-                    self.process_released(ctx, released);
-                }
-            }
-            VsyncWire::Rb(RbMsg::Ack(id)) => self.rb.on_ack(from, id),
-            VsyncWire::Heartbeat => {}
-            VsyncWire::Propose(view) => {
-                let actions = self.manager.on_propose(from, view);
-                self.perform(ctx, actions);
-            }
-            VsyncWire::FlushAck(view_id) => {
-                if self.manager.pending().is_none() && self.manager.current().id() == view_id {
-                    // The member missed our Install (lost message) and is
-                    // re-acking: resend it.
-                    ctx.send(from, VsyncWire::Install(self.manager.current().clone()));
-                } else {
-                    let actions = self.manager.on_flush_ack(from, view_id);
-                    self.perform(ctx, actions);
-                }
-            }
-            VsyncWire::Install(view) => {
-                let actions = self.manager.on_install(view);
-                self.perform(ctx, actions);
-            }
-            VsyncWire::JoinReq { joiner } => {
-                if self.manager.current().contains(joiner) {
-                    // Already admitted: the joiner missed the Install
-                    // (lost message) — resend it.
-                    ctx.send(joiner, VsyncWire::Install(self.manager.current().clone()));
-                } else if !self.manager.is_coordinator() {
-                    // Relay to the coordinator, which runs the change.
-                    let coordinator = self.manager.current().coordinator();
-                    ctx.send(coordinator, VsyncWire::JoinReq { joiner });
-                } else if self.manager.pending().is_none() {
-                    let next = self.manager.current().with(joiner);
-                    if let Ok(actions) = self.manager.propose(next) {
-                        self.perform(ctx, actions);
-                    }
-                    // Busy with another change: the joiner's retry covers it.
-                }
-            }
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: u64) {
-        if self.crashed {
-            return;
-        }
-        match tag {
-            TIMER_HEARTBEAT => {
-                for m in self.manager.current().members().to_vec() {
-                    if m != self.me {
-                        ctx.send(m, VsyncWire::Heartbeat);
-                    }
-                }
-                ctx.set_timer(self.config.heartbeat_every, TIMER_HEARTBEAT);
-            }
-            TIMER_FD_CHECK => {
-                if let Some(pending) = self.manager.pending().cloned() {
-                    // A change is in flight: retry lost membership
-                    // messages (they have no reliability layer).
-                    if self.manager.pending_proposer() == Some(self.me) {
-                        for m in pending.members().to_vec() {
-                            if m != self.me && self.manager.current().contains(m) {
-                                ctx.send(m, VsyncWire::Propose(pending.clone()));
-                            }
-                        }
-                    } else {
-                        let actions = self.manager.flush_complete();
-                        self.perform(ctx, actions);
-                    }
-                } else {
-                    let suspects = self.fd.suspects(ctx.now().as_micros());
-                    let in_view: Vec<ProcessId> = suspects
-                        .into_iter()
-                        .filter(|&s| self.manager.current().contains(s))
-                        .collect();
-                    if let Some(&dead) = in_view.first() {
-                        // The lowest-ranked *live* member proposes —
-                        // coordinator takeover when the coordinator died.
-                        let next = self.manager.current().without(dead);
-                        if let Ok(actions) = self.manager.propose_takeover(next, &in_view) {
-                            self.perform(ctx, actions);
-                        }
-                    }
-                }
-                ctx.set_timer(self.config.check_every, TIMER_FD_CHECK);
-            }
-            TIMER_RETRANSMIT => {
-                self.rtx_armed = false;
-                if self.rb.has_pending() {
-                    for (to, msg) in self.rb.retransmissions() {
-                        ctx.send(to, VsyncWire::Rb(msg));
-                    }
-                    self.arm_retransmit(ctx);
-                }
-            }
-            TIMER_JOIN_RETRY => {
-                if let Some(contact) = self.joining_via {
-                    ctx.send(contact, VsyncWire::JoinReq { joiner: self.me });
-                    ctx.set_timer(self.config.check_every, TIMER_JOIN_RETRY);
-                }
-            }
-            _ => {}
-        }
-    }
+) -> VsyncNode<A> {
+    VsyncNode::with_membership(me, n, app, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use causal_simnet::{LatencyModel, NetConfig, Partition, Simulation};
+    use crate::delivery::Delivered;
+    use crate::osend::OccursAfter;
+    use crate::stack::Emitter;
+    use crate::statemachine::OpClass;
+    use causal_clocks::ProcessId;
+    use causal_membership::GroupView;
+    use causal_simnet::{LatencyModel, NetConfig, Partition, SimDuration, SimTime, Simulation};
 
     /// Counter app used throughout: payloads 1..=9 commutative.
     #[derive(Debug, Default)]
     struct Sum {
         value: i64,
     }
-    impl CausalApp for Sum {
+    impl App for Sum {
         type Op = i64;
-        fn on_deliver(&mut self, env: &GraphEnvelope<i64>, _out: &mut Emitter<i64>) {
-            self.value += env.payload;
+        fn on_deliver(&mut self, env: Delivered<'_, i64>, _out: &mut Emitter<i64>) {
+            self.value += *env.payload;
         }
         fn classify(&self, op: &i64) -> OpClass {
             if (1..=9).contains(op) {
@@ -573,7 +106,7 @@ mod tests {
 
     fn group(n: usize) -> Vec<VsyncNode<Sum>> {
         (0..n)
-            .map(|i| VsyncNode::new(p(i as u32), n, Sum::default(), VsyncConfig::default()))
+            .map(|i| vsync_node(p(i as u32), n, Sum::default(), VsyncConfig::default()))
             .collect()
     }
 
@@ -743,8 +276,7 @@ mod tests {
         for _ in 0..200 {
             let deadline = sim.now() + SimDuration::from_micros(500);
             sim.run_until(deadline);
-            let flushing = sim.node(p(0)).manager.status() == FlushStatus::Flushing;
-            if flushing && !submitted {
+            if sim.node(p(0)).is_flushing() && !submitted {
                 submitted = true;
                 let parked = sim.poke(p(0), |node, ctx| node.osend(ctx, 7, OccursAfter::none()));
                 assert!(parked.is_none(), "send must park during flush");

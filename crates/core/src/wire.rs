@@ -11,7 +11,9 @@
 //!   benches;
 //! - the real-socket path: [`causal-net`'s] TCP transport frames every
 //!   message with a [`FrameHeader`] and encodes the full
-//!   [`GroupWire`]/[`RbMsg`]/[`Timed`] stack through [`WireEncode`];
+//!   [`StackWire`]/[`RbMsg`]/[`Timed`] stack through [`WireEncode`] —
+//!   including the view-change variants, so virtually synchronous
+//!   membership runs over TCP;
 //! - round-trip property tests that pin the format.
 //!
 //! [`causal-net`'s]: https://example.org/causal-broadcast
@@ -21,10 +23,11 @@
 //! `&[u8]` and advances it, so consumers can concatenate structures.
 
 use crate::delivery::VtEnvelope;
-use crate::node::{GroupWire, Timed};
 use crate::osend::GraphEnvelope;
 use crate::rbcast::RbMsg;
+use crate::stack::{StackWire, Timed};
 use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_membership::{GroupView, ViewId};
 use causal_simnet::SimTime;
 use std::fmt;
 
@@ -427,26 +430,88 @@ impl<E: WireEncode> WireEncode for RbMsg<E> {
     }
 }
 
-const TAG_GW_RB: u8 = 0;
-const TAG_GW_STABILITY: u8 = 1;
+impl WireEncode for ViewId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.as_u64().to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ViewId::from_u64(get_u64_le(input)?))
+    }
+}
 
-impl<E: WireEncode> WireEncode for GroupWire<E> {
+impl WireEncode for GroupView {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id().encode(out);
+        put_len(out, self.len());
+        for &m in self.members() {
+            out.extend_from_slice(&m.as_u32().to_le_bytes());
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let id = ViewId::decode(input)?;
+        let n = get_len(input)?;
+        if n == 0 {
+            // A view must have at least one member; reject before the
+            // panicking constructor sees it.
+            return Err(DecodeError::LengthOutOfRange { got: 0 });
+        }
+        let mut members = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            members.push(ProcessId::new(get_u32_le(input)?));
+        }
+        Ok(GroupView::new(id, members))
+    }
+}
+
+const TAG_SW_RB: u8 = 0;
+const TAG_SW_STABILITY: u8 = 1;
+const TAG_SW_HEARTBEAT: u8 = 2;
+const TAG_SW_PROPOSE: u8 = 3;
+const TAG_SW_FLUSH_ACK: u8 = 4;
+const TAG_SW_INSTALL: u8 = 5;
+const TAG_SW_JOIN_REQ: u8 = 6;
+
+impl<E: WireEncode> WireEncode for StackWire<E> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            GroupWire::Rb(msg) => {
-                out.push(TAG_GW_RB);
+            StackWire::Rb(msg) => {
+                out.push(TAG_SW_RB);
                 msg.encode(out);
             }
-            GroupWire::StabilityReport(vt) => {
-                out.push(TAG_GW_STABILITY);
+            StackWire::StabilityReport(vt) => {
+                out.push(TAG_SW_STABILITY);
                 encode_vector_clock(vt, out);
+            }
+            StackWire::Heartbeat => out.push(TAG_SW_HEARTBEAT),
+            StackWire::Propose(view) => {
+                out.push(TAG_SW_PROPOSE);
+                view.encode(out);
+            }
+            StackWire::FlushAck(view_id) => {
+                out.push(TAG_SW_FLUSH_ACK);
+                view_id.encode(out);
+            }
+            StackWire::Install(view) => {
+                out.push(TAG_SW_INSTALL);
+                view.encode(out);
+            }
+            StackWire::JoinReq { joiner } => {
+                out.push(TAG_SW_JOIN_REQ);
+                out.extend_from_slice(&joiner.as_u32().to_le_bytes());
             }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         match get_u8(input)? {
-            TAG_GW_RB => Ok(GroupWire::Rb(RbMsg::decode(input)?)),
-            TAG_GW_STABILITY => Ok(GroupWire::StabilityReport(decode_vector_clock(input)?)),
+            TAG_SW_RB => Ok(StackWire::Rb(RbMsg::decode(input)?)),
+            TAG_SW_STABILITY => Ok(StackWire::StabilityReport(decode_vector_clock(input)?)),
+            TAG_SW_HEARTBEAT => Ok(StackWire::Heartbeat),
+            TAG_SW_PROPOSE => Ok(StackWire::Propose(GroupView::decode(input)?)),
+            TAG_SW_FLUSH_ACK => Ok(StackWire::FlushAck(ViewId::decode(input)?)),
+            TAG_SW_INSTALL => Ok(StackWire::Install(GroupView::decode(input)?)),
+            TAG_SW_JOIN_REQ => Ok(StackWire::JoinReq {
+                joiner: ProcessId::new(get_u32_le(input)?),
+            }),
             got => Err(DecodeError::InvalidTag { got }),
         }
     }
@@ -571,29 +636,47 @@ mod tests {
     }
 
     #[test]
-    fn group_wire_roundtrips() {
+    fn stack_wire_roundtrips_every_variant() {
+        type W = StackWire<GraphEnvelope<u64>>;
         let mut tx = OSender::new(ProcessId::new(3));
         let env = tx.osend(11u64, OccursAfter::none());
-        let msg: GroupWire<GraphEnvelope<u64>> = GroupWire::Rb(RbMsg::Data(Timed {
-            env,
-            sent_at: SimTime::from_micros(42),
-        }));
-        let decoded = GroupWire::from_wire(&msg.to_wire()).unwrap();
-        assert_eq!(decoded, msg);
+        let view = GroupView::new(ViewId::from_u64(4), [ProcessId::new(0), ProcessId::new(2)]);
+        let msgs: Vec<W> = vec![
+            StackWire::Rb(RbMsg::Data(Timed {
+                env,
+                sent_at: SimTime::from_micros(42),
+            })),
+            StackWire::Rb(RbMsg::Ack(MsgId::new(ProcessId::new(1), 9))),
+            StackWire::StabilityReport(VectorClock::from_entries([4, 0, 2])),
+            StackWire::Heartbeat,
+            StackWire::Propose(view.clone()),
+            StackWire::FlushAck(view.id()),
+            StackWire::Install(view),
+            StackWire::JoinReq {
+                joiner: ProcessId::new(7),
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(W::from_wire(&msg.to_wire()).unwrap(), msg, "{msg:?}");
+        }
+    }
 
-        let ack: GroupWire<GraphEnvelope<u64>> =
-            GroupWire::Rb(RbMsg::Ack(MsgId::new(ProcessId::new(1), 9)));
-        assert_eq!(GroupWire::from_wire(&ack.to_wire()).unwrap(), ack);
-
-        let report: GroupWire<GraphEnvelope<u64>> =
-            GroupWire::StabilityReport(VectorClock::from_entries([4, 0, 2]));
-        assert_eq!(GroupWire::from_wire(&report.to_wire()).unwrap(), report);
+    #[test]
+    fn empty_group_view_rejected() {
+        // id (8 bytes) + member count 0: a view must have a member.
+        let mut buf = 4u64.to_le_bytes().to_vec();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut input = buf.as_slice();
+        assert_eq!(
+            GroupView::decode(&mut input),
+            Err(DecodeError::LengthOutOfRange { got: 0 })
+        );
     }
 
     #[test]
     fn invalid_tags_rejected() {
-        let buf = [7u8];
-        let out: Result<GroupWire<GraphEnvelope<u64>>, _> = GroupWire::from_wire(&buf);
-        assert_eq!(out, Err(DecodeError::InvalidTag { got: 7 }));
+        let buf = [9u8];
+        let out: Result<StackWire<GraphEnvelope<u64>>, _> = StackWire::from_wire(&buf);
+        assert_eq!(out, Err(DecodeError::InvalidTag { got: 9 }));
     }
 }

@@ -30,6 +30,11 @@ impl ViewId {
     pub const fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a view id from its numeric index (wire decoding).
+    pub const fn from_u64(id: u64) -> Self {
+        ViewId(id)
+    }
 }
 
 impl fmt::Display for ViewId {

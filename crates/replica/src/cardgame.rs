@@ -15,8 +15,9 @@
 //! point.
 
 use causal_clocks::{MsgId, ProcessId};
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::{GraphEnvelope, OccursAfter};
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
+use causal_core::osend::OccursAfter;
 use causal_core::statemachine::OpClass;
 use std::collections::BTreeMap;
 
@@ -110,7 +111,7 @@ impl CardPlayer {
     }
 }
 
-impl CausalApp for CardPlayer {
+impl App for CardPlayer {
     type Op = CardOp;
 
     fn on_start(&mut self, me: ProcessId, out: &mut Emitter<CardOp>) {
@@ -120,8 +121,8 @@ impl CausalApp for CardPlayer {
         }
     }
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<CardOp>, out: &mut Emitter<CardOp>) {
-        let card = env.payload;
+    fn on_deliver(&mut self, env: Delivered<'_, CardOp>, out: &mut Emitter<CardOp>) {
+        let card = *env.payload;
         self.table
             .insert((card.round, card.player.as_u32()), env.id);
         if card.player == self.me {

@@ -8,8 +8,8 @@
 //! other member" (§5.1).
 
 use causal_clocks::MsgId;
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::GraphEnvelope;
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::{OpClass, Operation};
 use causal_core::wire::{DecodeError, WireEncode};
@@ -90,7 +90,7 @@ impl Operation<i64> for CounterOp {
     }
 }
 
-/// A counter replica as a [`CausalApp`]: applies operations as they are
+/// A counter replica as an [`App`]: applies operations as they are
 /// causally delivered and answers `Read`s at stable points.
 ///
 /// # Examples
@@ -136,13 +136,13 @@ impl CounterReplica {
     }
 }
 
-impl CausalApp for CounterReplica {
+impl App for CounterReplica {
     type Op = CounterOp;
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<CounterOp>, _out: &mut Emitter<CounterOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, CounterOp>, _out: &mut Emitter<CounterOp>) {
         env.payload.apply(&mut self.value);
         self.applied += 1;
-        if env.payload == CounterOp::Read {
+        if *env.payload == CounterOp::Read {
             self.read_answers.push((env.id, self.value));
         }
     }
@@ -211,16 +211,22 @@ mod tests {
             11,
         );
         // nc cycle: Set(100) -> ||{Inc(7), Dec(3)} -> Read
-        let nc0 = sim.poke(p(0), |n, ctx| {
-            n.osend(ctx, CounterOp::Set(100), OccursAfter::none())
-        });
+        let nc0 = sim
+            .poke(p(0), |n, ctx| {
+                n.osend(ctx, CounterOp::Set(100), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
-        let c1 = sim.poke(p(1), |n, ctx| {
-            n.osend(ctx, CounterOp::Inc(7), OccursAfter::message(nc0))
-        });
-        let c2 = sim.poke(p(2), |n, ctx| {
-            n.osend(ctx, CounterOp::Dec(3), OccursAfter::message(nc0))
-        });
+        let c1 = sim
+            .poke(p(1), |n, ctx| {
+                n.osend(ctx, CounterOp::Inc(7), OccursAfter::message(nc0))
+            })
+            .unwrap();
+        let c2 = sim
+            .poke(p(2), |n, ctx| {
+                n.osend(ctx, CounterOp::Dec(3), OccursAfter::message(nc0))
+            })
+            .unwrap();
         sim.run_to_quiescence();
         sim.poke(p(0), |n, ctx| {
             n.osend(ctx, CounterOp::Read, OccursAfter::all([c1, c2]))
@@ -239,15 +245,20 @@ mod tests {
     #[test]
     fn stable_values_agree_across_replicas() {
         let mut sim = Simulation::new(group(4), NetConfig::new(), 5);
-        let nc0 = sim.poke(p(0), |n, ctx| {
-            n.osend(ctx, CounterOp::Set(0), OccursAfter::none())
-        });
+        let nc0 = sim
+            .poke(p(0), |n, ctx| {
+                n.osend(ctx, CounterOp::Set(0), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
         let mut cids = Vec::new();
         for i in 0..4u32 {
-            cids.push(sim.poke(p(i), |n, ctx| {
-                n.osend(ctx, CounterOp::Inc(i as i64 + 1), OccursAfter::message(nc0))
-            }));
+            cids.push(
+                sim.poke(p(i), |n, ctx| {
+                    n.osend(ctx, CounterOp::Inc(i as i64 + 1), OccursAfter::message(nc0))
+                })
+                .unwrap(),
+            );
         }
         sim.run_to_quiescence();
         sim.poke(p(0), |n, ctx| {

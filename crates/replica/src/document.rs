@@ -10,8 +10,8 @@
 //! participant sees the identical document at each commit.
 
 use causal_clocks::MsgId;
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::GraphEnvelope;
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::OpClass;
 use std::collections::{BTreeMap, BTreeSet};
@@ -58,7 +58,7 @@ pub struct Document {
     pub annotations: BTreeMap<u64, BTreeSet<(MsgId, String)>>,
 }
 
-/// A conferencing-participant replica as a [`CausalApp`].
+/// A conferencing-participant replica as an [`App`].
 #[derive(Debug, Clone, Default)]
 pub struct DocumentReplica {
     doc: Document,
@@ -89,12 +89,12 @@ impl DocumentReplica {
     }
 }
 
-impl CausalApp for DocumentReplica {
+impl App for DocumentReplica {
     type Op = DocOp;
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<DocOp>, _out: &mut Emitter<DocOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, DocOp>, _out: &mut Emitter<DocOp>) {
         self.ops_applied += 1;
-        match &env.payload {
+        match env.payload {
             DocOp::Annotate { line, note } => {
                 self.doc
                     .annotations
@@ -154,11 +154,11 @@ mod tests {
 
         let mut out = Emitter::new();
         let mut m1 = DocumentReplica::new();
-        m1.on_deliver(&a, &mut out);
-        m1.on_deliver(&b, &mut out);
+        m1.on_deliver(Delivered::from_graph(&a), &mut out);
+        m1.on_deliver(Delivered::from_graph(&b), &mut out);
         let mut m2 = DocumentReplica::new();
-        m2.on_deliver(&b, &mut out);
-        m2.on_deliver(&a, &mut out);
+        m2.on_deliver(Delivered::from_graph(&b), &mut out);
+        m2.on_deliver(Delivered::from_graph(&a), &mut out);
 
         assert_eq!(m1.document(), m2.document());
         assert_eq!(m1.document().annotations[&3].len(), 2);
@@ -170,9 +170,9 @@ mod tests {
         let mut out = Emitter::new();
         let mut m = DocumentReplica::new();
         let e1 = tx.osend(edit(1, "draft"), OccursAfter::none());
-        m.on_deliver(&e1, &mut out);
+        m.on_deliver(Delivered::from_graph(&e1), &mut out);
         let e2 = tx.osend(edit(1, "final"), OccursAfter::message(e1.id));
-        m.on_deliver(&e2, &mut out);
+        m.on_deliver(Delivered::from_graph(&e2), &mut out);
         assert_eq!(m.document().lines[&1], "final");
         assert_eq!(m.ops_applied(), 2);
     }
@@ -191,16 +191,22 @@ mod tests {
             21,
         );
         // Revision: edit -> ||{two annotations} -> commit.
-        let e = sim.poke(p(0), |n, ctx| {
-            n.osend(ctx, edit(1, "fig 1: topology"), OccursAfter::none())
-        });
+        let e = sim
+            .poke(p(0), |n, ctx| {
+                n.osend(ctx, edit(1, "fig 1: topology"), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
-        let a1 = sim.poke(p(1), |n, ctx| {
-            n.osend(ctx, annotate(1, "label the axes"), OccursAfter::message(e))
-        });
-        let a2 = sim.poke(p(2), |n, ctx| {
-            n.osend(ctx, annotate(1, "use SI units"), OccursAfter::message(e))
-        });
+        let a1 = sim
+            .poke(p(1), |n, ctx| {
+                n.osend(ctx, annotate(1, "label the axes"), OccursAfter::message(e))
+            })
+            .unwrap();
+        let a2 = sim
+            .poke(p(2), |n, ctx| {
+                n.osend(ctx, annotate(1, "use SI units"), OccursAfter::message(e))
+            })
+            .unwrap();
         sim.run_to_quiescence();
         sim.poke(p(0), |n, ctx| {
             n.osend(ctx, DocOp::Commit, OccursAfter::all([a1, a2]))

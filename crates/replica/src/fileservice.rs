@@ -16,8 +16,8 @@
 //! [`check::commutativity_declarations_sound`](causal_core::check::commutativity_declarations_sound).
 
 use causal_clocks::MsgId;
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::GraphEnvelope;
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
 use causal_core::stable::StablePoint;
 use causal_core::statemachine::{OpClass, Operation};
 use std::collections::{BTreeMap, BTreeSet};
@@ -123,7 +123,7 @@ impl Operation<FileSystem> for FileOp {
     }
 }
 
-/// A file-server replica as a [`CausalApp`].
+/// A file-server replica as an [`App`].
 #[derive(Debug, Clone, Default)]
 pub struct FileServer {
     fs: FileSystem,
@@ -165,10 +165,10 @@ impl FileServer {
     }
 }
 
-impl CausalApp for FileServer {
+impl App for FileServer {
     type Op = FileOp;
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<FileOp>, _out: &mut Emitter<FileOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, FileOp>, _out: &mut Emitter<FileOp>) {
         env.payload.apply(&mut self.fs);
         self.ops_applied += 1;
     }
@@ -282,16 +282,21 @@ mod tests {
         let mut sim = Simulation::new(nodes, cfg, 31);
 
         // Cycle: write (sync) -> concurrent appends -> write (sync).
-        let w = sim.poke(p(0), |node, ctx| {
-            node.osend(ctx, write("log.txt", "boot"), OccursAfter::none())
-        });
+        let w = sim
+            .poke(p(0), |node, ctx| {
+                node.osend(ctx, write("log.txt", "boot"), OccursAfter::none())
+            })
+            .unwrap();
         sim.run_to_quiescence();
         let mut appends = Vec::new();
         for i in 0..n as u32 {
-            appends.push(sim.poke(p(i), move |node, ctx| {
-                let op = append("log.txt", append_tag(i, 1), &format!("entry from p{i}"));
-                node.osend(ctx, op, OccursAfter::message(w))
-            }));
+            appends.push(
+                sim.poke(p(i), move |node, ctx| {
+                    let op = append("log.txt", append_tag(i, 1), &format!("entry from p{i}"));
+                    node.osend(ctx, op, OccursAfter::message(w))
+                })
+                .unwrap(),
+            );
         }
         sim.run_to_quiescence();
         sim.poke(p(0), |node, ctx| {

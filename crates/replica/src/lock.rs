@@ -20,8 +20,9 @@
 //! paper's `ASend`: concurrent messages, deterministically merged.
 
 use causal_clocks::{MsgId, ProcessId};
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::{GraphEnvelope, OccursAfter};
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
+use causal_core::osend::OccursAfter;
 use causal_core::statemachine::OpClass;
 use std::collections::BTreeMap;
 
@@ -163,7 +164,7 @@ impl LockMember {
     }
 }
 
-impl CausalApp for LockMember {
+impl App for LockMember {
     type Op = LockOp;
 
     fn on_start(&mut self, me: ProcessId, out: &mut Emitter<LockOp>) {
@@ -173,8 +174,8 @@ impl CausalApp for LockMember {
         }
     }
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<LockOp>, out: &mut Emitter<LockOp>) {
-        match env.payload {
+    fn on_deliver(&mut self, env: Delivered<'_, LockOp>, out: &mut Emitter<LockOp>) {
+        match *env.payload {
             LockOp::Lock { cycle } => {
                 self.locks
                     .entry(cycle)

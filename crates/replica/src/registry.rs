@@ -21,8 +21,8 @@
 //! answered immediately.
 
 use causal_clocks::MsgId;
-use causal_core::node::{CausalApp, Emitter};
-use causal_core::osend::GraphEnvelope;
+use causal_core::delivery::Delivered;
+use causal_core::node::{App, Emitter};
 use causal_core::statemachine::OpClass;
 use std::collections::HashMap;
 
@@ -79,7 +79,7 @@ pub enum QryOutcome {
     },
 }
 
-/// A name-service replica as a [`CausalApp`].
+/// A name-service replica as an [`App`].
 ///
 /// Updates apply unconditionally (bumping the name's version); queries
 /// are answered only when their version context matches, and discarded
@@ -137,11 +137,11 @@ impl RegistryReplica {
     }
 }
 
-impl CausalApp for RegistryReplica {
+impl App for RegistryReplica {
     type Op = RegistryOp;
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<RegistryOp>, _out: &mut Emitter<RegistryOp>) {
-        match &env.payload {
+    fn on_deliver(&mut self, env: Delivered<'_, RegistryOp>, _out: &mut Emitter<RegistryOp>) {
+        match env.payload {
             RegistryOp::Upd { key, value } => {
                 let binding = self.bindings.entry(key.clone()).or_insert(Binding {
                     version: 0,
@@ -198,7 +198,7 @@ mod tests {
     fn deliver(replica: &mut RegistryReplica, tx: &mut OSender, op: RegistryOp) {
         let env = tx.osend(op, OccursAfter::none());
         let mut out = Emitter::new();
-        replica.on_deliver(&env, &mut out);
+        replica.on_deliver(Delivered::from_graph(&env), &mut out);
     }
 
     #[test]
@@ -276,21 +276,21 @@ mod tests {
         // Member 1 applied both updates in order; member 2 as well (causal
         // delivery forces the chain); both answer identically.
         let mut m1 = RegistryReplica::new();
-        m1.on_deliver(&u1, &mut out);
-        m1.on_deliver(&u2, &mut out);
-        m1.on_deliver(&q, &mut out);
+        m1.on_deliver(Delivered::from_graph(&u1), &mut out);
+        m1.on_deliver(Delivered::from_graph(&u2), &mut out);
+        m1.on_deliver(Delivered::from_graph(&q), &mut out);
         let mut m2 = RegistryReplica::new();
-        m2.on_deliver(&u1, &mut out);
-        m2.on_deliver(&u2, &mut out);
-        m2.on_deliver(&q, &mut out);
+        m2.on_deliver(Delivered::from_graph(&u1), &mut out);
+        m2.on_deliver(Delivered::from_graph(&u2), &mut out);
+        m2.on_deliver(Delivered::from_graph(&q), &mut out);
         assert_eq!(m1.outcomes(), m2.outcomes());
         assert_eq!(m1.outcomes()[0].1, QryOutcome::Answered(Some("x2".into())));
 
         // A member that has applied only u1 discards instead of answering
         // "x1" (which would be wrong for this issuer).
         let mut m3 = RegistryReplica::new();
-        m3.on_deliver(&u1, &mut out);
-        m3.on_deliver(&q, &mut out);
+        m3.on_deliver(Delivered::from_graph(&u1), &mut out);
+        m3.on_deliver(Delivered::from_graph(&q), &mut out);
         assert_eq!(m3.discarded(), 1);
     }
 }

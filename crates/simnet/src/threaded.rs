@@ -9,7 +9,7 @@
 //! carries the same actors over real TCP sockets.
 //!
 //! Each node thread wraps its actor in an
-//! [`ActorRunner`](crate::runner::ActorRunner) — the same driver the TCP
+//! [`ActorRunner`] — the same driver the TCP
 //! transport uses — so this file is only the channel plumbing.
 //!
 //! # Examples

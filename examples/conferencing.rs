@@ -35,9 +35,11 @@ fn main() {
         let editor = p((revision % agents as u64) as u32);
         let after = prev_commit.map_or(OccursAfter::none(), OccursAfter::message);
         let text = format!("design v{revision}: use causal broadcast");
-        let edit = sim.poke(editor, move |node, ctx| {
-            node.osend(ctx, DocOp::EditLine { line: 1, text }, after)
-        });
+        let edit = sim
+            .poke(editor, move |node, ctx| {
+                node.osend(ctx, DocOp::EditLine { line: 1, text }, after)
+            })
+            .unwrap();
         sim.run_to_quiescence();
 
         // Everyone else annotates the new text concurrently.
@@ -48,20 +50,23 @@ fn main() {
                 continue;
             }
             let note = format!("p{a}: comment on v{revision}");
-            notes.push(sim.poke(annotator, move |node, ctx| {
-                node.osend(
-                    ctx,
-                    DocOp::Annotate { line: 1, note },
-                    OccursAfter::message(edit),
-                )
-            }));
+            notes.push(
+                sim.poke(annotator, move |node, ctx| {
+                    node.osend(
+                        ctx,
+                        DocOp::Annotate { line: 1, note },
+                        OccursAfter::message(edit),
+                    )
+                })
+                .unwrap(),
+            );
         }
         sim.run_to_quiescence();
 
         // Commit the revision: ordered after every annotation.
-        prev_commit = Some(sim.poke(editor, move |node, ctx| {
+        prev_commit = sim.poke(editor, move |node, ctx| {
             node.osend(ctx, DocOp::Commit, OccursAfter::all(notes.clone()))
-        }));
+        });
         sim.run_to_quiescence();
     }
 

@@ -25,16 +25,18 @@ fn main() {
     let mut sim = Simulation::new(nodes, net, 8);
 
     // A client (via server p0) creates the service log.
-    let boot = sim.poke(p(0), |node, ctx| {
-        node.osend(
-            ctx,
-            FileOp::Write {
-                path: "service.log".into(),
-                content: "=== service started ===".into(),
-            },
-            OccursAfter::none(),
-        )
-    });
+    let boot = sim
+        .poke(p(0), |node, ctx| {
+            node.osend(
+                ctx,
+                FileOp::Write {
+                    path: "service.log".into(),
+                    content: "=== service started ===".into(),
+                },
+                OccursAfter::none(),
+            )
+        })
+        .unwrap();
     sim.run_to_quiescence();
 
     // Every server appends entries concurrently — no cross-server order.
@@ -46,9 +48,12 @@ fn main() {
                 tag: append_tag(i, round + 1),
                 line: format!("server {i}, event {round}"),
             };
-            appends.push(sim.poke(p(i), move |node, ctx| {
-                node.osend(ctx, op, OccursAfter::message(boot))
-            }));
+            appends.push(
+                sim.poke(p(i), move |node, ctx| {
+                    node.osend(ctx, op, OccursAfter::message(boot))
+                })
+                .unwrap(),
+            );
         }
     }
     sim.run_to_quiescence();

@@ -12,10 +12,11 @@
 //! ```
 
 use causal_broadcast::clocks::ProcessId;
-use causal_broadcast::core::node::{CausalApp, Emitter};
-use causal_broadcast::core::osend::{GraphEnvelope, OccursAfter};
+use causal_broadcast::core::delivery::Delivered;
+use causal_broadcast::core::node::{App, Emitter};
+use causal_broadcast::core::osend::OccursAfter;
 use causal_broadcast::core::statemachine::OpClass;
-use causal_broadcast::core::vsync::{VsyncConfig, VsyncNode};
+use causal_broadcast::core::vsync::{vsync_node, VsyncConfig, VsyncNode};
 use causal_broadcast::simnet::{LatencyModel, NetConfig, SimDuration, SimTime, Simulation};
 
 #[derive(Debug, Default)]
@@ -23,9 +24,9 @@ struct Sum {
     value: i64,
 }
 
-impl CausalApp for Sum {
+impl App for Sum {
     type Op = i64;
-    fn on_deliver(&mut self, env: &GraphEnvelope<i64>, _out: &mut Emitter<i64>) {
+    fn on_deliver(&mut self, env: Delivered<'_, i64>, _out: &mut Emitter<i64>) {
         self.value += env.payload;
     }
     fn classify(&self, _op: &i64) -> OpClass {
@@ -37,7 +38,7 @@ fn main() {
     let p = ProcessId::new;
     let n = 4usize;
     let nodes: Vec<VsyncNode<Sum>> = (0..n)
-        .map(|i| VsyncNode::new(p(i as u32), n, Sum::default(), VsyncConfig::default()))
+        .map(|i| vsync_node(p(i as u32), n, Sum::default(), VsyncConfig::default()))
         .collect();
     let net = NetConfig::with_latency(LatencyModel::uniform_micros(200, 1200));
     let mut sim = Simulation::new(nodes, net, 19);

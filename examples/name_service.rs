@@ -38,7 +38,7 @@ fn main() {
             key: "printer".into(),
             value: value.into(),
         };
-        last = Some(sim.poke(p(0), move |node, ctx| node.osend(ctx, op, after)));
+        last = sim.poke(p(0), move |node, ctx| node.osend(ctx, op, after));
     }
 
     // p2 resolves "printer" right away, carrying whatever version it has

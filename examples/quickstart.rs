@@ -33,19 +33,25 @@ fn main() {
 
     // p0 initializes the shared integer. No ordering constraint — the
     // paper's `Occurs-After(NULL)`.
-    let init = sim.poke(p(0), |node, ctx| {
-        node.osend(ctx, CounterOp::Set(100), OccursAfter::none())
-    });
+    let init = sim
+        .poke(p(0), |node, ctx| {
+            node.osend(ctx, CounterOp::Set(100), OccursAfter::none())
+        })
+        .unwrap();
     sim.run_to_quiescence();
 
     // p1 and p2 increment *concurrently*: both order themselves only after
     // the initialization, not after each other.
-    let inc = sim.poke(p(1), |node, ctx| {
-        node.osend(ctx, CounterOp::Inc(7), OccursAfter::message(init))
-    });
-    let dec = sim.poke(p(2), |node, ctx| {
-        node.osend(ctx, CounterOp::Dec(3), OccursAfter::message(init))
-    });
+    let inc = sim
+        .poke(p(1), |node, ctx| {
+            node.osend(ctx, CounterOp::Inc(7), OccursAfter::message(init))
+        })
+        .unwrap();
+    let dec = sim
+        .poke(p(2), |node, ctx| {
+            node.osend(ctx, CounterOp::Dec(3), OccursAfter::message(init))
+        })
+        .unwrap();
     sim.run_to_quiescence();
 
     // The read must not be concurrent with inc/dec (the paper's service

@@ -13,8 +13,9 @@
 //! ```
 
 use causal_broadcast::clocks::ProcessId;
-use causal_broadcast::core::node::{CausalApp, CausalNode, Emitter};
-use causal_broadcast::core::osend::{GraphEnvelope, OccursAfter};
+use causal_broadcast::core::delivery::Delivered;
+use causal_broadcast::core::node::{App, CausalNode, Emitter};
+use causal_broadcast::core::osend::OccursAfter;
 use causal_broadcast::core::statemachine::OpClass;
 use causal_broadcast::net::{LoopbackCluster, TcpConfig};
 use causal_broadcast::replica::counter::{CounterOp, CounterReplica};
@@ -33,7 +34,7 @@ struct DrivingReplica {
     applied: Arc<AtomicU64>,
 }
 
-impl CausalApp for DrivingReplica {
+impl App for DrivingReplica {
     type Op = CounterOp;
 
     fn on_start(&mut self, me: ProcessId, out: &mut Emitter<CounterOp>) {
@@ -43,7 +44,7 @@ impl CausalApp for DrivingReplica {
         }
     }
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<CounterOp>, out: &mut Emitter<CounterOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, CounterOp>, out: &mut Emitter<CounterOp>) {
         let mut unused = Emitter::new();
         self.inner.on_deliver(env, &mut unused);
         self.applied.fetch_add(1, Ordering::SeqCst);

@@ -11,8 +11,9 @@
 //! ```
 
 use causal_broadcast::clocks::ProcessId;
-use causal_broadcast::core::node::{CausalApp, CausalNode, Emitter};
-use causal_broadcast::core::osend::{GraphEnvelope, OccursAfter};
+use causal_broadcast::core::delivery::Delivered;
+use causal_broadcast::core::node::{App, CausalNode, Emitter};
+use causal_broadcast::core::osend::OccursAfter;
 use causal_broadcast::core::statemachine::OpClass;
 use causal_broadcast::replica::counter::{CounterOp, CounterReplica};
 use causal_broadcast::simnet::threaded::run_threaded;
@@ -27,7 +28,7 @@ struct DrivingReplica {
     step: u32,
 }
 
-impl CausalApp for DrivingReplica {
+impl App for DrivingReplica {
     type Op = CounterOp;
 
     fn on_start(&mut self, me: ProcessId, out: &mut Emitter<CounterOp>) {
@@ -37,7 +38,7 @@ impl CausalApp for DrivingReplica {
         }
     }
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<CounterOp>, out: &mut Emitter<CounterOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, CounterOp>, out: &mut Emitter<CounterOp>) {
         let mut unused = Emitter::new();
         self.inner.on_deliver(env, &mut unused);
         if self.drive {

@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the strategy-combinator subset its property tests use: the
 //! [`proptest!`] macro (block and closure forms), `prop_assert*`,
-//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map` /
+//! `prop_oneof!`, [`strategy::Strategy`] with `prop_map` /
 //! `prop_flat_map` / `prop_shuffle` / `boxed`, range and tuple and
 //! `Vec<Strategy>` strategies, [`collection::vec`], [`arbitrary::any`],
 //! and [`strategy::Just`].
@@ -204,8 +204,10 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
-    /// Uniform choice between boxed strategies — what [`prop_oneof!`]
+    /// Uniform choice between boxed strategies — what `prop_oneof!`
     /// builds.
     pub struct Union<T> {
         arms: Vec<BoxedStrategy<T>>,
@@ -283,7 +285,7 @@ pub mod collection {
     use super::strategy::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Element-count specifications accepted by [`vec`].
+    /// Element-count specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -313,7 +315,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

@@ -46,9 +46,13 @@ pub mod prelude {
     pub use causal_clocks::{
         CausalOrdering, GroupId, LamportClock, MatrixClock, MsgId, ProcessId, VectorClock,
     };
-    pub use causal_core::delivery::{CbcastEngine, FifoDelivery, GraphDelivery, VtEnvelope};
+    pub use causal_core::delivery::{
+        CbcastEngine, Delivered, DeliveryEngine, FifoDelivery, GraphDelivery, VtEnvelope,
+    };
     pub use causal_core::graph::MsgGraph;
-    pub use causal_core::node::{BcastApp, CausalApp, CausalNode, CbcastNode, Emitter, NodeStats};
+    pub use causal_core::node::{
+        App, CausalNode, CbcastNode, Emitter, NodeStats, ProtocolStack, StackWire,
+    };
     pub use causal_core::osend::{GraphEnvelope, OSender, OccursAfter};
     pub use causal_core::stable::{CausalActivity, LogEntry, StablePoint, StablePointDetector};
     pub use causal_core::statemachine::{OpClass, Operation, Replica};

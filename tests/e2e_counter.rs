@@ -39,9 +39,11 @@ fn run_cycles(
         } else {
             CounterOp::Read
         };
-        let id = sim.poke(p((submitter % n) as u32), move |node, ctx| {
-            node.osend(ctx, nc, after)
-        });
+        let id = sim
+            .poke(p((submitter % n) as u32), move |node, ctx| {
+                node.osend(ctx, nc, after)
+            })
+            .unwrap();
         fe.record(id, OpClass::NonCommutative);
         submitter += 1;
         for k in 0..f_bar {
@@ -51,9 +53,11 @@ fn run_cycles(
             } else {
                 CounterOp::Dec(k as i64)
             };
-            let id = sim.poke(p((submitter % n) as u32), move |node, ctx| {
-                node.osend(ctx, op, after)
-            });
+            let id = sim
+                .poke(p((submitter % n) as u32), move |node, ctx| {
+                    node.osend(ctx, op, after)
+                })
+                .unwrap();
             fe.record(id, OpClass::Commutative);
             submitter += 1;
             let deadline = sim.now() + SimDuration::from_micros(150);

@@ -108,24 +108,24 @@ fn partition_heals_and_state_reconverges() {
 fn causal_chains_survive_loss() {
     // A dependent chain built through reactions; loss reorders heavily but
     // delivery order must still respect the chain at every member.
-    use causal_broadcast::core::node::{CausalApp, Emitter};
-    use causal_broadcast::core::osend::GraphEnvelope;
+    use causal_broadcast::core::delivery::Delivered;
+    use causal_broadcast::core::node::{App, Emitter};
 
     #[derive(Debug, Default)]
     struct Chainer {
         me: Option<ProcessId>,
         seen: Vec<i64>,
     }
-    impl CausalApp for Chainer {
+    impl App for Chainer {
         type Op = i64;
         fn on_start(&mut self, me: ProcessId, _out: &mut Emitter<i64>) {
             self.me = Some(me);
         }
-        fn on_deliver(&mut self, env: &GraphEnvelope<i64>, out: &mut Emitter<i64>) {
-            self.seen.push(env.payload);
+        fn on_deliver(&mut self, env: Delivered<'_, i64>, out: &mut Emitter<i64>) {
+            self.seen.push(*env.payload);
             // Only member p1 extends the chain, up to depth 10.
-            if self.me == Some(ProcessId::new(1)) && env.payload < 10 {
-                out.osend(env.payload + 1, OccursAfter::message(env.id));
+            if self.me == Some(ProcessId::new(1)) && *env.payload < 10 {
+                out.osend(*env.payload + 1, OccursAfter::message(env.id));
             }
         }
     }

@@ -83,7 +83,9 @@ fn document_revisions_agree_under_loss() {
             line: rev,
             text: format!("v{rev}"),
         };
-        let edit = sim.poke(editor, move |node, ctx| node.osend(ctx, op, after));
+        let edit = sim
+            .poke(editor, move |node, ctx| node.osend(ctx, op, after))
+            .unwrap();
         sim.run_to_quiescence();
         let mut notes = Vec::new();
         for a in 0..n as u32 {
@@ -91,14 +93,17 @@ fn document_revisions_agree_under_loss() {
                 line: rev,
                 note: format!("n{a}"),
             };
-            notes.push(sim.poke(p(a), move |node, ctx| {
-                node.osend(ctx, op, OccursAfter::message(edit))
-            }));
+            notes.push(
+                sim.poke(p(a), move |node, ctx| {
+                    node.osend(ctx, op, OccursAfter::message(edit))
+                })
+                .unwrap(),
+            );
         }
         sim.run_to_quiescence();
-        prev = Some(sim.poke(editor, move |node, ctx| {
+        prev = sim.poke(editor, move |node, ctx| {
             node.osend(ctx, DocOp::Commit, OccursAfter::all(notes.clone()))
-        }));
+        });
         sim.run_to_quiescence();
     }
 
@@ -135,8 +140,7 @@ fn registry_no_wrong_answers_under_churn() {
                     value: format!("v{k}"),
                 };
                 let after = last_upd[member].map_or(OccursAfter::none(), OccursAfter::message);
-                last_upd[member] =
-                    Some(sim.poke(submitter, move |node, ctx| node.osend(ctx, op, after)));
+                last_upd[member] = sim.poke(submitter, move |node, ctx| node.osend(ctx, op, after));
             } else {
                 // Resolution with local context.
                 let target = (k * 7) % n;

@@ -2,10 +2,11 @@
 //! loss, across seeds.
 
 use causal_broadcast::clocks::ProcessId;
-use causal_broadcast::core::node::{CausalApp, Emitter};
-use causal_broadcast::core::osend::{GraphEnvelope, OccursAfter};
+use causal_broadcast::core::delivery::Delivered;
+use causal_broadcast::core::node::{App, Emitter};
+use causal_broadcast::core::osend::OccursAfter;
 use causal_broadcast::core::statemachine::OpClass;
-use causal_broadcast::core::vsync::{VsyncConfig, VsyncNode};
+use causal_broadcast::core::vsync::{vsync_node, VsyncConfig, VsyncNode};
 use causal_broadcast::membership::GroupView;
 use causal_broadcast::simnet::{
     FaultPlan, LatencyModel, NetConfig, SimDuration, SimTime, Simulation,
@@ -17,11 +18,11 @@ struct Sum {
     deliveries: Vec<i64>,
 }
 
-impl CausalApp for Sum {
+impl App for Sum {
     type Op = i64;
-    fn on_deliver(&mut self, env: &GraphEnvelope<i64>, _out: &mut Emitter<i64>) {
-        self.value += env.payload;
-        self.deliveries.push(env.payload);
+    fn on_deliver(&mut self, env: Delivered<'_, i64>, _out: &mut Emitter<i64>) {
+        self.value += *env.payload;
+        self.deliveries.push(*env.payload);
     }
     fn classify(&self, _op: &i64) -> OpClass {
         OpClass::Commutative
@@ -34,7 +35,7 @@ fn p(i: u32) -> ProcessId {
 
 fn group(n: usize) -> Vec<VsyncNode<Sum>> {
     (0..n)
-        .map(|i| VsyncNode::new(p(i as u32), n, Sum::default(), VsyncConfig::default()))
+        .map(|i| vsync_node(p(i as u32), n, Sum::default(), VsyncConfig::default()))
         .collect()
 }
 
@@ -70,6 +71,59 @@ fn survivors_agree_after_crash_across_seeds() {
         // before the crash and every sender kept retransmitting until
         // acknowledged (p2's copies flush through survivors).
         assert_eq!(values[0], 12, "seed {seed}");
+    }
+}
+
+#[test]
+fn crash_between_osend_and_delivery_never_splits_survivors() {
+    // p3 broadcasts and crashes δ later — before, while, or after its
+    // copies land, with message loss so that some survivors may hold
+    // the message when the flush starts and others not. Whatever the
+    // timing, virtual synchrony demands the survivors agree: either the
+    // flush spreads the raced broadcast to everyone or no survivor
+    // delivers it — never a split, never a duplicate.
+    for delay_us in [0u64, 150, 300, 450, 700, 1100, 2000, 6000] {
+        for seed in [1u64, 8] {
+            let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(200, 1200))
+                .faults(FaultPlan::new().with_drop_prob(0.15));
+            let mut sim = Simulation::new(group(4), cfg, seed.wrapping_mul(1000) + delay_us);
+            // Warm-up traffic so the crash has history to flush around.
+            for k in 0..4u32 {
+                sim.poke(p(k), |node, ctx| {
+                    node.osend(ctx, 1, OccursAfter::none());
+                });
+            }
+            sim.run_until(SimTime::from_millis(15));
+            sim.poke(p(3), |node, ctx| {
+                node.osend(ctx, 100, OccursAfter::none());
+            });
+            let crash_at = sim.now() + SimDuration::from_micros(delay_us);
+            sim.run_until(crash_at);
+            sim.node_mut(p(3)).crash();
+            sim.run_until(sim.now() + SimDuration::from_millis(80));
+
+            let expected = GroupView::initial(4).without(p(3));
+            let survivors = [0u32, 1, 2];
+            for &i in &survivors {
+                let tag = format!("delay {delay_us} seed {seed} member {i}");
+                assert_eq!(sim.node(p(i)).view(), &expected, "{tag}");
+                assert_eq!(sim.node(p(i)).pending_len(), 0, "{tag}");
+            }
+            let values: Vec<i64> = survivors
+                .iter()
+                .map(|&i| sim.node(p(i)).app().value)
+                .collect();
+            assert!(
+                values.windows(2).all(|w| w[0] == w[1]),
+                "delay {delay_us} seed {seed}: survivors split {values:?}"
+            );
+            // All-or-nothing and exactly-once: the 4 warm-up units plus
+            // the raced broadcast everywhere or nowhere.
+            assert!(
+                values[0] == 4 || values[0] == 104,
+                "delay {delay_us} seed {seed}: {values:?}"
+            );
+        }
     }
 }
 

@@ -59,17 +59,21 @@ fn run_scenario(s: &Scenario) -> Simulation<CausalNode<CounterReplica>> {
         } else {
             CounterOp::Read
         };
-        let id = sim.poke(p((submitter % s.n) as u32), move |node, ctx| {
-            node.osend(ctx, nc, after)
-        });
+        let id = sim
+            .poke(p((submitter % s.n) as u32), move |node, ctx| {
+                node.osend(ctx, nc, after)
+            })
+            .unwrap();
         fe.record(id, OpClass::NonCommutative);
         submitter += 1;
         for k in 0..width {
             let after = fe.ordering_for(OpClass::Commutative);
             let op = CounterOp::Inc(k as i64 + 1);
-            let id = sim.poke(p((submitter % s.n) as u32), move |node, ctx| {
-                node.osend(ctx, op, after)
-            });
+            let id = sim
+                .poke(p((submitter % s.n) as u32), move |node, ctx| {
+                    node.osend(ctx, op, after)
+                })
+                .unwrap();
             fe.record(id, OpClass::Commutative);
             submitter += 1;
             let deadline = sim.now() + SimDuration::from_micros(s.interval_us);

@@ -16,7 +16,7 @@ struct Driver {
     commutative_budget: u32,
 }
 
-impl CausalApp for Driver {
+impl App for Driver {
     type Op = CounterOp;
 
     fn on_start(&mut self, me: ProcessId, out: &mut Emitter<CounterOp>) {
@@ -26,7 +26,7 @@ impl CausalApp for Driver {
         }
     }
 
-    fn on_deliver(&mut self, env: &GraphEnvelope<CounterOp>, out: &mut Emitter<CounterOp>) {
+    fn on_deliver(&mut self, env: Delivered<'_, CounterOp>, out: &mut Emitter<CounterOp>) {
         let mut unused = Emitter::new();
         self.inner.on_deliver(env, &mut unused);
         // Every member contributes commutative increments after the Set;
