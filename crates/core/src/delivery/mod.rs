@@ -107,6 +107,15 @@ pub trait DeliveryEngine {
     /// Projects an envelope to the engine-agnostic delivered view.
     fn view<'a>(env: &'a Self::Envelope) -> Delivered<'a, Self::Op>;
 
+    /// The vector timestamp stamped on `env`, for engines that carry one
+    /// (vector-clock engines). The verification layer uses it to check
+    /// delivery orders against potential causality; graph engines, which
+    /// carry explicit dependency sets instead, return `None` (the
+    /// default).
+    fn clock_of(_env: &Self::Envelope) -> Option<&VectorClock> {
+        None
+    }
+
     /// The delivery log so far (message ids in delivery order).
     fn log(&self) -> &[MsgId];
 

@@ -265,6 +265,10 @@ impl<P: Clone> DeliveryEngine for FlatCbcastEngine<P> {
         }
     }
 
+    fn clock_of(env: &VtEnvelope<P>) -> Option<&VectorClock> {
+        Some(&env.vt)
+    }
+
     fn log(&self) -> &[MsgId] {
         FlatCbcastEngine::log(self)
     }

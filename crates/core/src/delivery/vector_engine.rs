@@ -316,6 +316,10 @@ impl<P: Clone> super::DeliveryEngine for CbcastEngine<P> {
         }
     }
 
+    fn clock_of(env: &VtEnvelope<P>) -> Option<&VectorClock> {
+        Some(&env.vt)
+    }
+
     fn log(&self) -> &[MsgId] {
         CbcastEngine::log(self)
     }

@@ -72,6 +72,7 @@ pub mod stable;
 pub mod stack;
 pub mod statemachine;
 pub mod total;
+pub mod trace;
 pub mod vsync;
 pub mod wire;
 

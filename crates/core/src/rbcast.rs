@@ -294,6 +294,15 @@ impl<E: HasMsgId + Clone> ReliableBroadcast<E> {
         self.duplicates
     }
 
+    /// Every message id this layer has accepted (own broadcasts plus
+    /// fresh receipts), in no particular order — the reliable-broadcast
+    /// contract's delivered set, which verification harnesses compare
+    /// against what the delivery engine actually released. Compaction
+    /// prunes the stable prefix, so use it on uncompacted runs.
+    pub fn seen_ids(&self) -> impl Iterator<Item = MsgId> + '_ {
+        self.seen.iter().copied()
+    }
+
     /// Forgets duplicate-suppression entries for the globally stable
     /// prefix (see [`StabilityTracker`](crate::stability::StabilityTracker)):
     /// a stable message can never be retransmitted to us again, so its

@@ -205,6 +205,15 @@ impl CausalActivity {
 /// assert_eq!(acts[1].end, nc1);
 /// ```
 pub fn activities_from_log(log: &[LogEntry]) -> Vec<CausalActivity> {
+    activities_with_tail(log).0
+}
+
+/// Like [`activities_from_log`], but also returns the **unfinished tail**:
+/// messages delivered after the last stable point, in delivery order.
+/// Verification harnesses need the tail to account for every delivered
+/// message (e.g. to check a commutative window that no sync message has
+/// closed yet).
+pub fn activities_with_tail(log: &[LogEntry]) -> (Vec<CausalActivity>, Vec<MsgId>) {
     let mut detector = StablePointDetector::new();
     let mut activities = Vec::new();
     let mut start: Option<MsgId> = None;
@@ -222,7 +231,7 @@ pub fn activities_from_log(log: &[LogEntry]) -> Vec<CausalActivity> {
             None => interior.push(entry.id),
         }
     }
-    activities
+    (activities, interior)
 }
 
 #[cfg(test)]

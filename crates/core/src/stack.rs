@@ -44,6 +44,7 @@ use crate::rbcast::{HasMsgId, RbMsg, ReliableBroadcast};
 use crate::stability::StabilityTracker;
 use crate::stable::{LogEntry, StablePoint, StablePointDetector};
 use crate::statemachine::OpClass;
+use crate::trace::{MemberTrace, TraceEvent};
 use causal_clocks::{MsgId, ProcessId, VectorClock};
 use causal_membership::{
     FlushStatus, GroupView, HeartbeatDetector, ManagerAction, ViewId, ViewManager,
@@ -173,6 +174,16 @@ pub trait App {
     /// sends drained). Operations emitted here are broadcast in the new
     /// view. Never fires on stacks without membership enabled.
     fn on_view(&mut self, _view: &GroupView, _out: &mut Emitter<Self::Op>) {}
+
+    /// A canonical byte serialization of the application's current state,
+    /// captured by tracing stacks at every stable point so the
+    /// verification oracle can check the paper's agreement claim (§4):
+    /// every member holds the *same state bytes* at the same stable
+    /// point. Return `None` (the default) to opt out of state-agreement
+    /// checking; the structural stable-point checks still run.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Per-node statistics collected by the stack.
@@ -280,6 +291,7 @@ pub struct ProtocolStack<D: DeliveryEngine, A: App<Op = D::Op>> {
     deliveries_since_report: u64,
     record_analysis: bool,
     membership: Option<MembershipState<D>>,
+    tracer: Option<MemberTrace>,
     crashed: bool,
 }
 
@@ -318,6 +330,7 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
             deliveries_since_report: 0,
             record_analysis: true,
             membership: None,
+            tracer: None,
             crashed: false,
         }
     }
@@ -363,6 +376,32 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
         self.record_analysis = false;
         self.engine.enable_gc_mode();
         self
+    }
+
+    /// Enables event tracing: the stack appends one
+    /// [`TraceEvent`] per send, receipt,
+    /// delivery, stable point, view installation, and crash to a private
+    /// [`MemberTrace`], which a verification harness collects after the
+    /// run. Purely local (no extra messages), so it works unchanged under
+    /// any runtime.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Some(MemberTrace::new(self.me));
+        self
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&MemberTrace> {
+        self.tracer.as_ref()
+    }
+
+    /// Removes and returns the recorded trace (for harnesses that consume
+    /// nodes). Tracing stays enabled with a fresh, empty trace.
+    pub fn take_trace(&mut self) -> Option<MemberTrace> {
+        let taken = self.tracer.take();
+        if taken.is_some() {
+            self.tracer = Some(MemberTrace::new(self.me));
+        }
+        taken
     }
 
     /// Per-message bookkeeping entries currently retained (what GC
@@ -472,6 +511,9 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
     /// Silences this member from now on (test control: models a crash).
     pub fn crash(&mut self) {
         self.crashed = true;
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent::Crashed);
+        }
     }
 
     /// `true` if this member has been crashed.
@@ -537,6 +579,9 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
         self.arm_retransmit(ctx);
         self.sent_times.insert(id, ctx.now());
         self.last_sent = Some(id);
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent::Send { id });
+        }
         released
     }
 
@@ -590,10 +635,27 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
                 stability.on_deliver(id);
                 self.deliveries_since_report += 1;
             }
+            if let Some(t) = &mut self.tracer {
+                t.record(TraceEvent::Deliver {
+                    id,
+                    deps: delivered.deps.map(<[MsgId]>::to_vec),
+                    vt: D::clock_of(&env).cloned(),
+                    sync_candidate: candidate,
+                });
+            }
             let mut out = Emitter::new();
             self.app.on_deliver(D::view(&env), &mut out);
             if let Some(sp) = sp {
                 self.stats.stable_points += 1;
+                if let Some(t) = &mut self.tracer {
+                    // The state *after* processing the closing sync
+                    // message is the paper's stable-point state.
+                    t.record(TraceEvent::StablePoint {
+                        ordinal: sp.ordinal,
+                        msg: sp.msg,
+                        snapshot: self.app.snapshot(),
+                    });
+                }
                 self.app.on_stable_point(sp, &mut out);
             }
             for (op, after) in out.drain() {
@@ -745,6 +807,9 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
                     }
                 }
             }
+            if let Some(t) = &mut self.tracer {
+                t.record(TraceEvent::ViewInstalled { view: view.clone() });
+            }
             mem.installed_views.push(view);
         }
         // The flush barrier lifts: drain parked sends.
@@ -807,6 +872,7 @@ impl<A: App> ProtocolStack<GraphDelivery<A::Op>, A> {
             deliveries_since_report: 0,
             record_analysis: true,
             membership: Some(mem),
+            tracer: None,
             crashed: false,
         }
     }
@@ -858,7 +924,14 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> Actor for ProtocolStack<D, A> {
         }
         match msg {
             StackWire::Rb(RbMsg::Data(timed)) => {
+                let rid = timed.msg_id();
                 let (fresh, acks) = self.rb.on_data(from, timed);
+                if let Some(t) = &mut self.tracer {
+                    t.record(TraceEvent::Receive {
+                        id: rid,
+                        fresh: fresh.is_some(),
+                    });
+                }
                 for (to, ack) in acks {
                     ctx.send(to, StackWire::Rb(ack));
                 }

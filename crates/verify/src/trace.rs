@@ -1,0 +1,437 @@
+//! Group traces and their replayable text form.
+//!
+//! A [`Trace`] is the collection of per-member event logs
+//! ([`MemberTrace`]) recorded by tracing protocol stacks during one run.
+//! Traces serialize to a line-oriented text format so failing executions
+//! can be committed as regression files and re-checked by the oracle on
+//! every CI run (see `regressions/README.md` for the format reference).
+
+use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_core::delivery::DeliveryEngine;
+use causal_core::stack::{App, ProtocolStack};
+use causal_membership::{GroupView, ViewId};
+use std::fmt;
+
+pub use causal_core::trace::{MemberTrace, TraceEvent};
+
+/// The per-member event logs of one group execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    members: Vec<MemberTrace>,
+}
+
+impl Trace {
+    /// Assembles a trace from per-member logs.
+    pub fn new(members: Vec<MemberTrace>) -> Self {
+        Trace { members }
+    }
+
+    /// Collects the traces of a slice of stacks (e.g. after a simulation
+    /// run). Stacks without tracing enabled are skipped.
+    pub fn from_stacks<D, A>(nodes: &[ProtocolStack<D, A>]) -> Self
+    where
+        D: DeliveryEngine,
+        A: App<Op = D::Op>,
+    {
+        Trace {
+            members: nodes.iter().filter_map(|n| n.trace().cloned()).collect(),
+        }
+    }
+
+    /// The member logs.
+    pub fn members(&self) -> &[MemberTrace] {
+        &self.members
+    }
+
+    /// A trace restricted to the given members — e.g. the survivors of a
+    /// crash scenario, for checks that only they must satisfy.
+    pub fn restricted_to<I: IntoIterator<Item = ProcessId>>(&self, members: I) -> Trace {
+        let keep: Vec<ProcessId> = members.into_iter().collect();
+        Trace {
+            members: self
+                .members
+                .iter()
+                .filter(|m| keep.contains(&m.me()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serializes the trace to the replayable text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("trace v1\n");
+        for m in &self.members {
+            out.push_str(&format!("member {}\n", m.me().as_u32()));
+            for e in m.events() {
+                out.push_str(&encode_event(e));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses a trace from the text format. Lines starting with `#` and
+    /// blank lines are ignored, so regression files can carry commentary
+    /// (e.g. an `# expect: <violation>` header read by the harness).
+    pub fn parse(input: &str) -> Result<Trace, ParseError> {
+        let mut members: Vec<MemberTrace> = Vec::new();
+        let mut saw_header = false;
+        for (idx, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if line != "trace v1" {
+                    return Err(ParseError::new(lineno, "expected header `trace v1`"));
+                }
+                saw_header = true;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("member ") {
+                let id: u32 = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::new(lineno, "bad member id"))?;
+                members.push(MemberTrace::new(ProcessId::new(id)));
+                continue;
+            }
+            let member = members
+                .last_mut()
+                .ok_or_else(|| ParseError::new(lineno, "event before any `member` line"))?;
+            member.record(parse_event(line, lineno)?);
+        }
+        if !saw_header {
+            return Err(ParseError::new(0, "empty input"));
+        }
+        Ok(Trace { members })
+    }
+}
+
+/// A malformed trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn encode_id(id: MsgId) -> String {
+    format!("{}#{}", id.origin().as_u32(), id.seq())
+}
+
+fn encode_event(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::Send { id } => format!("send {}", encode_id(*id)),
+        TraceEvent::Receive { id, fresh } => {
+            if *fresh {
+                format!("recv {}", encode_id(*id))
+            } else {
+                format!("recv {} dup", encode_id(*id))
+            }
+        }
+        TraceEvent::Deliver {
+            id,
+            deps,
+            vt,
+            sync_candidate,
+        } => {
+            let mut s = format!(
+                "deliver {} {}",
+                encode_id(*id),
+                if *sync_candidate { "nc" } else { "c" }
+            );
+            if let Some(deps) = deps {
+                s.push_str(" deps=");
+                s.push_str(
+                    &deps
+                        .iter()
+                        .map(|d| encode_id(*d))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                );
+            }
+            if let Some(vt) = vt {
+                s.push_str(" vt=");
+                s.push_str(
+                    &vt.iter()
+                        .map(|(_, v)| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                );
+            }
+            s
+        }
+        TraceEvent::StablePoint {
+            ordinal,
+            msg,
+            snapshot,
+        } => {
+            let mut s = format!("stable {} {}", ordinal, encode_id(*msg));
+            if let Some(bytes) = snapshot {
+                s.push_str(" snap=");
+                s.push_str(&hex_encode(bytes));
+            }
+            s
+        }
+        TraceEvent::ViewInstalled { view } => format!(
+            "view {} {}",
+            view.id().as_u64(),
+            view.members()
+                .iter()
+                .map(|p| p.as_u32().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        TraceEvent::Crashed => "crashed".to_string(),
+    }
+}
+
+fn parse_id(s: &str, lineno: usize) -> Result<MsgId, ParseError> {
+    let (origin, seq) = s
+        .split_once('#')
+        .ok_or_else(|| ParseError::new(lineno, format!("bad message id `{s}`")))?;
+    let origin: u32 = origin
+        .parse()
+        .map_err(|_| ParseError::new(lineno, format!("bad origin in `{s}`")))?;
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| ParseError::new(lineno, format!("bad sequence in `{s}`")))?;
+    Ok(MsgId::new(ProcessId::new(origin), seq))
+}
+
+fn parse_id_list(s: &str, lineno: usize) -> Result<Vec<MsgId>, ParseError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|part| parse_id(part, lineno)).collect()
+}
+
+fn parse_event(line: &str, lineno: usize) -> Result<TraceEvent, ParseError> {
+    let mut words = line.split_whitespace();
+    let kind = words.next().expect("non-empty line");
+    let mut next = |what: &str| {
+        words
+            .next()
+            .ok_or_else(|| ParseError::new(lineno, format!("missing {what}")))
+    };
+    match kind {
+        "send" => Ok(TraceEvent::Send {
+            id: parse_id(next("message id")?, lineno)?,
+        }),
+        "recv" => {
+            let id = parse_id(next("message id")?, lineno)?;
+            let fresh = match words.next() {
+                None => true,
+                Some("dup") => false,
+                Some(other) => {
+                    return Err(ParseError::new(lineno, format!("unexpected `{other}`")))
+                }
+            };
+            Ok(TraceEvent::Receive { id, fresh })
+        }
+        "deliver" => {
+            let id = parse_id(next("message id")?, lineno)?;
+            let sync_candidate = match next("class (c|nc)")? {
+                "nc" => true,
+                "c" => false,
+                other => return Err(ParseError::new(lineno, format!("bad class `{other}`"))),
+            };
+            let mut deps = None;
+            let mut vt = None;
+            for word in words {
+                if let Some(list) = word.strip_prefix("deps=") {
+                    deps = Some(parse_id_list(list, lineno)?);
+                } else if let Some(list) = word.strip_prefix("vt=") {
+                    let entries: Result<Vec<u64>, _> =
+                        list.split(',').map(|v| v.parse::<u64>()).collect();
+                    let entries = entries.map_err(|_| ParseError::new(lineno, "bad vt entries"))?;
+                    vt = Some(VectorClock::from_entries(entries));
+                } else {
+                    return Err(ParseError::new(lineno, format!("unexpected `{word}`")));
+                }
+            }
+            Ok(TraceEvent::Deliver {
+                id,
+                deps,
+                vt,
+                sync_candidate,
+            })
+        }
+        "stable" => {
+            let ordinal: usize = next("ordinal")?
+                .parse()
+                .map_err(|_| ParseError::new(lineno, "bad ordinal"))?;
+            let msg = parse_id(next("message id")?, lineno)?;
+            let snapshot = match words.next() {
+                None => None,
+                Some(word) => {
+                    let hexed = word
+                        .strip_prefix("snap=")
+                        .ok_or_else(|| ParseError::new(lineno, format!("unexpected `{word}`")))?;
+                    Some(hex_decode(hexed).map_err(|m| ParseError::new(lineno, m))?)
+                }
+            };
+            Ok(TraceEvent::StablePoint {
+                ordinal,
+                msg,
+                snapshot,
+            })
+        }
+        "view" => {
+            let id: u64 = next("view id")?
+                .parse()
+                .map_err(|_| ParseError::new(lineno, "bad view id"))?;
+            let members: Result<Vec<u32>, _> = next("member list")?
+                .split(',')
+                .map(|m| m.parse::<u32>())
+                .collect();
+            let members = members.map_err(|_| ParseError::new(lineno, "bad member list"))?;
+            Ok(TraceEvent::ViewInstalled {
+                view: GroupView::new(
+                    ViewId::from_u64(id),
+                    members.into_iter().map(ProcessId::new),
+                ),
+            })
+        }
+        "crashed" => Ok(TraceEvent::Crashed),
+        other => Err(ParseError::new(lineno, format!("unknown event `{other}`"))),
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "00x".to_string(); // marker for "present but empty"
+    }
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s == "00x" {
+        return Ok(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length snapshot hex".to_string());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "bad snapshot hex".to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(p: u32, s: u64) -> MsgId {
+        MsgId::new(ProcessId::new(p), s)
+    }
+
+    fn sample() -> Trace {
+        let mut m0 = MemberTrace::new(ProcessId::new(0));
+        m0.record(TraceEvent::Send { id: id(0, 1) });
+        m0.record(TraceEvent::Deliver {
+            id: id(0, 1),
+            deps: Some(vec![]),
+            vt: None,
+            sync_candidate: true,
+        });
+        m0.record(TraceEvent::StablePoint {
+            ordinal: 0,
+            msg: id(0, 1),
+            snapshot: Some(vec![0x2a, 0x00]),
+        });
+        let mut m1 = MemberTrace::new(ProcessId::new(1));
+        m1.record(TraceEvent::Receive {
+            id: id(0, 1),
+            fresh: true,
+        });
+        m1.record(TraceEvent::Receive {
+            id: id(0, 1),
+            fresh: false,
+        });
+        m1.record(TraceEvent::Deliver {
+            id: id(0, 1),
+            deps: None,
+            vt: Some(VectorClock::from_entries([1, 0])),
+            sync_candidate: false,
+        });
+        m1.record(TraceEvent::ViewInstalled {
+            view: GroupView::new(ViewId::from_u64(2), [ProcessId::new(0), ProcessId::new(1)]),
+        });
+        m1.record(TraceEvent::Crashed);
+        Trace::new(vec![m0, m1])
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = sample();
+        let text = t.to_text();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = format!("# expect: something\n\n{}", sample().to_text());
+        assert!(Trace::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Trace::parse("").is_err());
+        assert!(Trace::parse("trace v2\n").is_err());
+        assert!(Trace::parse("trace v1\nsend 0#1\n").is_err()); // before member
+        assert!(Trace::parse("trace v1\nmember 0\nfrob 1\n").is_err());
+        assert!(Trace::parse("trace v1\nmember 0\ndeliver 0#1 zz\n").is_err());
+        assert!(Trace::parse("trace v1\nmember 0\nstable 0 0#1 snap=0\n").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_distinct_from_none() {
+        let mut m = MemberTrace::new(ProcessId::new(0));
+        m.record(TraceEvent::StablePoint {
+            ordinal: 0,
+            msg: id(0, 1),
+            snapshot: Some(vec![]),
+        });
+        m.record(TraceEvent::StablePoint {
+            ordinal: 1,
+            msg: id(0, 2),
+            snapshot: None,
+        });
+        let t = Trace::new(vec![m]);
+        assert_eq!(Trace::parse(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn restricted_to_filters_members() {
+        let t = sample();
+        let r = t.restricted_to([ProcessId::new(1)]);
+        assert_eq!(r.members().len(), 1);
+        assert_eq!(r.members()[0].me(), ProcessId::new(1));
+    }
+}

@@ -1,0 +1,464 @@
+//! The protocol-hygiene lint: rules `cargo`'s built-in lints can't express
+//! because they are *about this workspace's layering*, not about Rust.
+//!
+//! | Rule | Scope | Forbids |
+//! |---|---|---|
+//! | `determinism` | `crates/{core,clocks,membership}/src` | wall clocks and entropy (`std::time`, `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `from_entropy`) — the protocol crates are sans-IO state machines; time comes in through `Context`, randomness through the seeded simulation RNG |
+//! | `wire-unwrap` | `crates/core/src/wire.rs`, `crates/net/src/frame.rs` | `.unwrap()` / `.expect(` — decode paths face attacker-controlled bytes and must return errors, never panic |
+//! | `transport-bypass` | every `crates/*/src` and `src/` except `crates/simnet`, `crates/net` | the `Transport` trait — production code talks to the network through the protocol stack, not by grabbing a transport directly |
+//!
+//! The scanner is lexical: comments, string/char literals, and
+//! `#[cfg(test)]`-gated blocks are masked out before matching, so a rule
+//! name in a doc comment or a test's `.unwrap()` never trips the gate.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines preserved, so line numbers survive).
+fn mask_lexical(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if {
+                    // Raw string heads: r", r#", br", b" (byte strings
+                    // lex like strings for our purposes).
+                    let mut j = i;
+                    if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                        j += 1;
+                    }
+                    let mut k = j + 1;
+                    while k < b.len() && b[k] == b'#' {
+                        k += 1;
+                    }
+                    k < b.len() && b[k] == b'"' && (b[j] == b'r' || k == j + 1)
+                } =>
+            {
+                let mut j = i;
+                if b[j] == b'b' {
+                    out.push(b' ');
+                    j += 1;
+                }
+                let raw = b[j] == b'r';
+                if raw {
+                    out.push(b' ');
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    out.push(b' ');
+                    j += 1;
+                }
+                // Opening quote.
+                out.push(b' ');
+                j += 1;
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut h = 0;
+                            while j + 1 + h < b.len() && h < hashes && b[j + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[j]));
+                        j += 1;
+                    }
+                } else {
+                    while j < b.len() {
+                        if b[j] == b'\\' && j + 1 < b.len() {
+                            out.push(b' ');
+                            out.push(b' ');
+                            j += 2;
+                        } else if b[j] == b'"' {
+                            out.push(b' ');
+                            j += 1;
+                            break;
+                        } else {
+                            out.push(blank(b[j]));
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime? A char closes within a couple
+                // of bytes; a lifetime never closes.
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    // '\x7f', '\n', '\'' …
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    let stop = j.min(b.len() - 1);
+                    out.extend(std::iter::repeat_n(b' ', stop - i + 1));
+                    i = j + 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.push(b' ');
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 3;
+                } else {
+                    // Lifetime tick: keep scanning normally after it.
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (the attribute, then the next
+/// brace-balanced block) in an already lexically-masked source.
+fn mask_cfg_test(masked: &str) -> String {
+    let mut bytes = masked.as_bytes().to_vec();
+    let needle = b"#[cfg(test)]";
+    while let Some(at) = bytes.windows(needle.len()).position(|w| w == needle) {
+        // Find the opening brace of the gated item (or the semicolon of a
+        // braceless one, e.g. `#[cfg(test)] use …;`), then blank through
+        // the matching close.
+        let mut j = at;
+        let mut open = None;
+        while j < bytes.len() {
+            if bytes[j] == b'{' {
+                open = Some(j);
+                break;
+            }
+            if bytes[j] == b';' {
+                break;
+            }
+            j += 1;
+        }
+        let end = match open {
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut k = open;
+                loop {
+                    match bytes.get(k) {
+                        Some(b'{') => depth += 1,
+                        Some(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        None => break k.saturating_sub(1),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j,
+        };
+        let stop = end.min(bytes.len() - 1);
+        for slot in bytes[at..=stop].iter_mut() {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+const DETERMINISM_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/clocks/src/",
+    "crates/membership/src/",
+];
+const DETERMINISM_PATTERNS: &[&str] = &[
+    "std::time",
+    "SystemTime",
+    "Instant::now",
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+];
+
+const WIRE_FILES: &[&str] = &["crates/core/src/wire.rs", "crates/net/src/frame.rs"];
+const WIRE_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
+
+const TRANSPORT_ALLOWED: &[&str] = &["crates/simnet/", "crates/net/", "crates/xtask/"];
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `haystack` contains `needle` delimited by non-identifier characters.
+fn contains_word(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(haystack.as_bytes()[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len() || !is_ident_char(haystack.as_bytes()[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len();
+    }
+    None
+}
+
+/// Lints one file's source under its workspace-relative `path`. Pure, so
+/// tests can seed violations without touching the filesystem.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let masked = mask_cfg_test(&mask_lexical(source));
+    let mut findings = Vec::new();
+    let mut check = |rule: &'static str, patterns: &[&str], whole_word: bool| {
+        for (lineno, line) in masked.lines().enumerate() {
+            for pat in patterns {
+                let hit = if whole_word {
+                    contains_word(line, pat).is_some()
+                } else {
+                    line.contains(pat)
+                };
+                if hit {
+                    let snippet = source
+                        .lines()
+                        .nth(lineno)
+                        .unwrap_or_default()
+                        .trim()
+                        .to_string();
+                    findings.push(Finding {
+                        rule,
+                        path: path.to_string(),
+                        line: lineno + 1,
+                        snippet,
+                    });
+                    break;
+                }
+            }
+        }
+    };
+
+    if DETERMINISM_SCOPES.iter().any(|s| path.starts_with(s)) {
+        check("determinism", DETERMINISM_PATTERNS, false);
+    }
+    if WIRE_FILES.contains(&path) {
+        check("wire-unwrap", WIRE_PATTERNS, false);
+    }
+    let in_lib_source =
+        (path.starts_with("crates/") && path.contains("/src/")) || path.starts_with("src/");
+    if in_lib_source && !TRANSPORT_ALLOWED.iter().any(|s| path.starts_with(s)) {
+        check("transport-bypass", &["Transport"], true);
+    }
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all findings.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_passes() {
+        let src = "pub fn tick(now: SimTime) -> SimTime { now }\n";
+        assert!(lint_source("crates/core/src/stack.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_protocol_crate_flagged() {
+        let src = "fn now() -> u64 { std::time::Instant::now().elapsed().as_micros() as u64 }\n";
+        let f = lint_source("crates/core/src/stack.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "determinism");
+        assert_eq!(f[0].line, 1);
+        // Same source is fine outside the deterministic scopes.
+        assert!(lint_source("crates/net/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_in_protocol_crate_flagged() {
+        let src = "let r = rand::random::<u64>();\n";
+        let f = lint_source("crates/clocks/src/vector.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "determinism");
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_masked() {
+        let src = r#"
+// std::time in a comment is fine
+/* block: SystemTime also fine */
+const MSG: &str = "thread_rng belongs in strings";
+#[cfg(test)]
+mod tests {
+    fn helper() { let _ = std::time::SystemTime::now(); }
+}
+"#;
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_wire_decode_flagged() {
+        let src = "fn decode(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n";
+        let f = lint_source("crates/core/src/wire.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wire-unwrap");
+        // unwrap in non-wire files is cargo-clippy's business, not ours.
+        assert!(lint_source("crates/core/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_on_wire_decode_flagged() {
+        let src = "fn decode(b: &[u8]) -> u8 { b.first().copied().expect(\"short\") }\n";
+        let f = lint_source("crates/net/src/frame.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wire-unwrap");
+    }
+
+    #[test]
+    fn transport_outside_allowlist_flagged() {
+        let src = "use causal_simnet::Transport;\n";
+        let f = lint_source("crates/replica/src/counter.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "transport-bypass");
+        assert!(lint_source("crates/net/src/node.rs", src).is_empty());
+        assert!(lint_source("crates/simnet/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn transport_word_boundary_respected() {
+        let src = "struct TransportStats;\nfn transport_bypass() {}\n";
+        assert!(lint_source("crates/replica/src/counter.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_masked() {
+        let src = "const A: &str = r#\"SystemTime \" quoted\"#;\nconst B: char = 'x';\nfn life<'a>(v: &'a u8) -> &'a u8 { v }\n";
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violation_after_test_block_still_flagged() {
+        let src = "#[cfg(test)]\nmod tests { fn f() {} }\nfn bad() { let _ = std::time::SystemTime::now(); }\n";
+        let f = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Workspace automation, invoked as `cargo xtask <command>` (see
+//! `.cargo/config.toml` for the alias).
+//!
+//! Commands:
+//! - `lint` — the protocol-hygiene gate (see [`lint`] for the rules).
+//!   Exits nonzero on any finding, so CI can use it directly.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            match lint::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xtask lint: clean (determinism, wire-unwrap, transport-bypass)");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    println!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: io error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint{}",
+                other
+                    .map(|o| format!(" (unknown command: {o})"))
+                    .unwrap_or_default()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,15 +1,21 @@
 //! Failure injection: message loss, duplication, and partitions against
 //! the full stack — the reliability + causal-delivery layers must mask
-//! everything.
+//! everything. Each run records per-member traces and hands them to the
+//! `causal-verify` oracle, so every invariant (exactly-once, dependency
+//! order, delivered-set agreement) is checked on the actual execution,
+//! not just on end-state values.
 
 use causal_broadcast::clocks::ProcessId;
 use causal_broadcast::core::check;
+use causal_broadcast::core::delivery::DeliveryEngine;
 use causal_broadcast::core::node::CausalNode;
 use causal_broadcast::core::osend::OccursAfter;
+use causal_broadcast::core::stack::{App, ProtocolStack};
 use causal_broadcast::replica::counter::{CounterOp, CounterReplica};
 use causal_broadcast::simnet::{
     FaultPlan, LatencyModel, NetConfig, Partition, SimDuration, SimTime, Simulation,
 };
+use causal_verify::{check_trace, OracleConfig, OracleReport, Trace};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -17,8 +23,26 @@ fn p(i: u32) -> ProcessId {
 
 fn group(n: usize) -> Vec<CausalNode<CounterReplica>> {
     (0..n)
-        .map(|i| CausalNode::new(p(i as u32), n, CounterReplica::new()))
+        .map(|i| CausalNode::new(p(i as u32), n, CounterReplica::new()).with_tracing())
         .collect()
+}
+
+/// Collects the group's recorded traces out of the simulation and runs
+/// the full quiescent-run oracle, panicking on any violation.
+fn assert_oracle_clean<D, A>(sim: &Simulation<ProtocolStack<D, A>>, n: usize) -> OracleReport
+where
+    D: DeliveryEngine,
+    A: App<Op = D::Op>,
+{
+    let trace = Trace::new(
+        (0..n)
+            .filter_map(|i| sim.node(p(i as u32)).trace().cloned())
+            .collect(),
+    );
+    match check_trace(&trace, &OracleConfig::default()) {
+        Ok(report) => report,
+        Err(v) => panic!("oracle violation: {v}"),
+    }
 }
 
 fn spray_updates(sim: &mut Simulation<CausalNode<CounterReplica>>, n: usize, count: usize) {
@@ -45,6 +69,8 @@ fn heavy_loss_converges() {
             assert_eq!(sim.node(p(i)).pending_len(), 0);
         }
         assert!(sim.metrics().dropped > 0, "fault injection must trigger");
+        let report = assert_oracle_clean(&sim, 4);
+        assert_eq!(report.deliveries, 4 * 30, "seed {seed}");
     }
 }
 
@@ -61,6 +87,10 @@ fn duplication_is_absorbed() {
         assert_eq!(sim.node(p(i)).stats().delivered, 20);
     }
     assert!(sim.metrics().duplicated > 0);
+    // The oracle's duplicate-delivery check sees every transport-level
+    // duplicate as a non-fresh receive and every delivery exactly once.
+    let report = assert_oracle_clean(&sim, 3);
+    assert_eq!(report.deliveries, 3 * 20);
 }
 
 #[test]
@@ -73,6 +103,7 @@ fn loss_and_duplication_together() {
     let values: Vec<i64> = (0..5).map(|i| sim.node(p(i)).app().value()).collect();
     assert!(check::replicas_agree(&values));
     assert_eq!(values[0], 40);
+    assert_oracle_clean(&sim, 5);
 }
 
 #[test]
@@ -102,6 +133,7 @@ fn partition_heals_and_state_reconverges() {
     for i in 0..3 {
         assert_eq!(sim.node(p(i)).app().value(), 10, "member {i}");
     }
+    assert_oracle_clean(&sim, 3);
 }
 
 #[test]
@@ -132,7 +164,7 @@ fn causal_chains_survive_loss() {
 
     for seed in 0..5 {
         let nodes: Vec<CausalNode<Chainer>> = (0..3)
-            .map(|i| CausalNode::new(p(i), 3, Chainer::default()))
+            .map(|i| CausalNode::new(p(i), 3, Chainer::default()).with_tracing())
             .collect();
         let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 5000))
             .faults(FaultPlan::new().with_drop_prob(0.4));
@@ -151,5 +183,8 @@ fn causal_chains_survive_loss() {
                 "seed {seed} member {i}: chain inverted: {seen:?}"
             );
         }
+        // The oracle re-derives the same guarantee from the recorded
+        // dependency sets (and checks exactly-once on top).
+        assert_oracle_clean(&sim, 3);
     }
 }

@@ -1,16 +1,22 @@
 //! End-to-end virtual synchrony: crashes during traffic, under message
-//! loss, across seeds.
+//! loss, across seeds. Every run records per-member traces and replays
+//! them through the `causal-verify` oracle, which re-checks delivery
+//! order, exactly-once, survivor delivered-set agreement, and — the
+//! vsync-specific part — that all members installed the same view
+//! sequence (crashed members contribute their correct prefix).
 
 use causal_broadcast::clocks::ProcessId;
-use causal_broadcast::core::delivery::Delivered;
+use causal_broadcast::core::delivery::{Delivered, DeliveryEngine};
 use causal_broadcast::core::node::{App, Emitter};
 use causal_broadcast::core::osend::OccursAfter;
+use causal_broadcast::core::stack::ProtocolStack;
 use causal_broadcast::core::statemachine::OpClass;
 use causal_broadcast::core::vsync::{vsync_node, VsyncConfig, VsyncNode};
 use causal_broadcast::membership::GroupView;
 use causal_broadcast::simnet::{
     FaultPlan, LatencyModel, NetConfig, SimDuration, SimTime, Simulation,
 };
+use causal_verify::{check_trace, OracleConfig, OracleReport, Trace};
 
 #[derive(Debug, Default)]
 struct Sum {
@@ -35,8 +41,31 @@ fn p(i: u32) -> ProcessId {
 
 fn group(n: usize) -> Vec<VsyncNode<Sum>> {
     (0..n)
-        .map(|i| vsync_node(p(i as u32), n, Sum::default(), VsyncConfig::default()))
+        .map(|i| vsync_node(p(i as u32), n, Sum::default(), VsyncConfig::default()).with_tracing())
         .collect()
+}
+
+/// Collects all recorded member traces (crashed members included — the
+/// oracle exempts them from the quiescence checks but still validates
+/// their prefix) and runs the full oracle, panicking on any violation.
+fn assert_oracle_clean<D, A>(
+    sim: &Simulation<ProtocolStack<D, A>>,
+    n: usize,
+    tag: &str,
+) -> OracleReport
+where
+    D: DeliveryEngine,
+    A: App<Op = D::Op>,
+{
+    let trace = Trace::new(
+        (0..n)
+            .filter_map(|i| sim.node(p(i as u32)).trace().cloned())
+            .collect(),
+    );
+    match check_trace(&trace, &OracleConfig::default()) {
+        Ok(report) => report,
+        Err(v) => panic!("oracle violation ({tag}): {v}"),
+    }
 }
 
 #[test]
@@ -71,6 +100,10 @@ fn survivors_agree_after_crash_across_seeds() {
         // before the crash and every sender kept retransmitting until
         // acknowledged (p2's copies flush through survivors).
         assert_eq!(values[0], 12, "seed {seed}");
+        // The oracle re-derives survivor agreement from the raw traces
+        // and additionally checks exactly-once + view-sequence prefixes.
+        let report = assert_oracle_clean(&sim, 4, &format!("seed {seed}"));
+        assert!(report.views_compared > 0, "seed {seed}: view check engaged");
     }
 }
 
@@ -123,6 +156,7 @@ fn crash_between_osend_and_delivery_never_splits_survivors() {
                 values[0] == 4 || values[0] == 104,
                 "delay {delay_us} seed {seed}: {values:?}"
             );
+            assert_oracle_clean(&sim, 4, &format!("delay {delay_us} seed {seed}"));
         }
     }
 }
@@ -148,6 +182,7 @@ fn crash_under_message_loss_still_heals() {
         assert_eq!(sim.node(p(i)).app().value, 10, "member {i}");
         assert_eq!(sim.node(p(i)).pending_len(), 0);
     }
+    assert_oracle_clean(&sim, 4, "loss heal");
 }
 
 #[test]
@@ -176,6 +211,9 @@ fn two_sequential_crashes_shrink_to_two_members() {
     sim.run_until(SimTime::from_millis(120));
     assert_eq!(sim.node(p(0)).app().value, 2);
     assert_eq!(sim.node(p(1)).app().value, 2);
+    // Both crashed members contribute their pre-crash view prefix; the
+    // oracle checks it against the survivors' longer sequences.
+    assert_oracle_clean(&sim, 4, "two crashes");
 }
 
 #[test]
@@ -185,12 +223,9 @@ fn join_then_crash_sequence() {
     // on the pre-join history the joiner received by replay.
     let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(100, 900));
     let mut nodes = group(3);
-    nodes.push(VsyncNode::joining(
-        p(3),
-        p(2),
-        Sum::default(),
-        VsyncConfig::default(),
-    ));
+    nodes.push(
+        VsyncNode::joining(p(3), p(2), Sum::default(), VsyncConfig::default()).with_tracing(),
+    );
     let mut sim = Simulation::new(nodes, cfg, 77);
     for k in 0..6u32 {
         sim.poke(p(k % 3), |node, ctx| {
@@ -216,6 +251,10 @@ fn join_then_crash_sequence() {
     for &i in &[0u32, 1, 3] {
         assert_eq!(sim.node(p(i)).app().value, 7, "member {i}");
     }
+    // The joiner's replayed history must pass the same per-member causal
+    // checks as live delivery, and its delivered set must match the
+    // incumbents' at quiescence.
+    assert_oracle_clean(&sim, 4, "join then crash");
 }
 
 #[test]
@@ -224,12 +263,9 @@ fn joiner_sees_messages_in_causal_order() {
     // chain at the joiner too.
     let cfg = NetConfig::with_latency(LatencyModel::uniform_micros(200, 2500));
     let mut nodes = group(2);
-    nodes.push(VsyncNode::joining(
-        p(2),
-        p(0),
-        Sum::default(),
-        VsyncConfig::default(),
-    ));
+    nodes.push(
+        VsyncNode::joining(p(2), p(0), Sum::default(), VsyncConfig::default()).with_tracing(),
+    );
     let mut sim = Simulation::new(nodes, cfg, 5);
     // A causal chain built before/while the join happens.
     let a = sim
@@ -254,6 +290,9 @@ fn joiner_sees_messages_in_causal_order() {
             .collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2], "member {i}: {seen:?}");
     }
+    // The oracle validates the same chain from the recorded dependency
+    // sets — at the joiner from replayed envelopes.
+    assert_oracle_clean(&sim, 3, "joiner causal order");
 }
 
 #[test]
@@ -281,4 +320,6 @@ fn coordinator_crash_is_survived_by_takeover() {
     sim.run_until(SimTime::from_millis(90));
     assert_eq!(sim.node(p(1)).app().value, 2);
     assert_eq!(sim.node(p(2)).app().value, 2);
+    let report = assert_oracle_clean(&sim, 3, "coordinator takeover");
+    assert!(report.views_compared > 0, "view check engaged");
 }

@@ -11,6 +11,7 @@ use causal_broadcast::core::osend::OccursAfter;
 use causal_broadcast::core::statemachine::OpClass;
 use causal_broadcast::net::{LoopbackCluster, TcpConfig};
 use causal_broadcast::replica::counter::{CounterOp, CounterReplica};
+use causal_verify::{check_trace, OracleConfig, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -95,6 +96,7 @@ fn run_scenario(seed: u64) -> u64 {
                     applied: Arc::clone(&applied[i]),
                 },
             )
+            .with_tracing()
         })
         .collect();
 
@@ -143,6 +145,20 @@ fn run_scenario(seed: u64) -> u64 {
     let graph = done[0].0.graph();
     let logs: Vec<Vec<_>> = done.iter().map(|(n, _)| n.log().to_vec()).collect();
     check::logs_linearize_graph(graph, &logs).unwrap_or_else(|v| panic!("{v}"));
+
+    // The full trace oracle over the real-network execution: exactly-once
+    // delivery, dependency order, and delivered-set agreement must hold on
+    // the recorded events — including the retransmissions and duplicate
+    // receives caused by the severed and re-established 0<->1 link.
+    let trace = Trace::new(
+        done.iter()
+            .filter_map(|(n, _)| n.trace().cloned())
+            .collect(),
+    );
+    let report = check_trace(&trace, &OracleConfig::default())
+        .unwrap_or_else(|v| panic!("oracle violation: {v}"));
+    assert_eq!(report.members, N);
+    assert_eq!(report.deliveries, (N as u64 * TOTAL_OPS) as usize);
 
     // Counters are coherent: every node got traffic from every peer, and
     // nothing failed to decode.
