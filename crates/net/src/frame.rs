@@ -149,7 +149,15 @@ impl<R: Read> FrameReader<R> {
                         "peer closed connection",
                     ))
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    let filled = chunk.get(..n).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "reader reported more bytes than the chunk holds",
+                        )
+                    })?;
+                    self.buf.extend_from_slice(filled);
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -171,11 +179,18 @@ impl<R: Read> FrameReader<R> {
         let mut input = self.buf.as_slice();
         let header = FrameHeader::decode(&mut input)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let total = FrameHeader::ENCODED_LEN + header.len as usize;
+        let total = FrameHeader::ENCODED_LEN
+            .checked_add(header.len as usize)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "frame length overflows usize")
+            })?;
         if self.buf.len() < total {
             return Ok(None);
         }
-        let body = self.buf[FrameHeader::ENCODED_LEN..total].to_vec();
+        let Some(body) = self.buf.get(FrameHeader::ENCODED_LEN..total) else {
+            return Ok(None);
+        };
+        let body = body.to_vec();
         self.buf.drain(..total);
         Ok(Some(body))
     }

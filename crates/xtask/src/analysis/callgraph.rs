@@ -1,0 +1,380 @@
+//! A shallow intra-workspace call graph over the parsed function tables.
+//!
+//! Resolution is name-based and deliberately over-approximate in the
+//! direction that makes the analyses *sound as gates* (a spurious edge
+//! can only add findings, which the baseline file documents; a missing
+//! edge is the dangerous direction, so the rules below err toward
+//! linking):
+//!
+//! - **bare calls** `helper(…)` resolve to every workspace function with
+//!   that name;
+//! - **qualified calls** `Type::new(…)` resolve to functions whose
+//!   `impl` owner is `Type` when any exist; otherwise, if the qualifier
+//!   looks like a module path segment (`frame::parse_hello`) or a
+//!   generic parameter (`E::decode`), they fall back to name-only
+//!   resolution. A concrete foreign type (`TcpStream::connect`) with no
+//!   workspace owner resolves to nothing;
+//! - **method calls** `x.flush(…)` resolve only when the receiver chain
+//!   is rooted at `self` — then to same-file functions of that name.
+//!   Other receivers are untyped here and resolving them by name alone
+//!   drowned the lock analysis in false cycles (`stream.shutdown()`
+//!   is not `ConnectionManager::shutdown`), so they stay unresolved;
+//!   this is the one documented under-approximation.
+//!
+//! `#[cfg(test)]` functions are excluded entirely: they neither appear
+//! as nodes nor resolve as callees.
+
+use crate::analysis::lexer::{Lexed, TokKind};
+use crate::analysis::Workspace;
+use std::collections::{BTreeSet, HashMap};
+
+/// Rust keywords that precede `(` without being calls.
+pub const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "ref", "mut", "let", "fn", "pub", "where", "use", "mod", "impl", "trait", "struct",
+    "enum", "union", "unsafe", "dyn", "box", "await", "yield", "const", "static", "crate", "super",
+    "type",
+];
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Call {
+    /// Global function id of the callee.
+    pub callee: usize,
+    /// Token index of the callee name at the call site.
+    pub tok: usize,
+}
+
+/// A function's global identity: `(file index, func index within file)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's `items.funcs`.
+    pub func: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Global id → function identity.
+    pub fns: Vec<FnRef>,
+    /// Global id → resolved call sites in its body, in token order.
+    pub calls: Vec<Vec<Call>>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test function in the workspace.
+    pub fn build(ws: &Workspace) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_owner: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.items.funcs.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = fns.len();
+                fns.push(FnRef { file: fi, func: gi });
+                by_name.entry(f.name.clone()).or_default().push(id);
+                if let Some(owner) = &f.owner {
+                    by_owner.entry(owner.clone()).or_default().push(id);
+                }
+            }
+        }
+        let mut calls = vec![Vec::new(); fns.len()];
+        for (id, fr) in fns.iter().enumerate() {
+            let file = &ws.files[fr.file];
+            let f = &file.items.funcs[fr.func];
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            calls[id] = extract_calls(&file.lexed, open, close, fr.file, &fns, &by_name, &by_owner);
+        }
+        CallGraph {
+            fns,
+            calls,
+            by_name,
+        }
+    }
+
+    /// Global ids of non-test functions named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The transitive closure of callees from `roots` (inclusive).
+    pub fn reachable(&self, roots: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut stack: Vec<usize> = roots.into_iter().collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for c in &self.calls[id] {
+                if !seen.contains(&c.callee) {
+                    stack.push(c.callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+fn looks_generic(q: &str) -> bool {
+    q.len() <= 2 && q.starts_with(|c: char| c.is_ascii_uppercase())
+}
+
+fn looks_module(q: &str) -> bool {
+    q.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_calls(
+    lexed: &Lexed,
+    open: usize,
+    close: usize,
+    file_idx: usize,
+    fns: &[FnRef],
+    by_name: &HashMap<String, Vec<usize>>,
+    by_owner: &HashMap<String, Vec<usize>>,
+) -> Vec<Call> {
+    let mut out = Vec::new();
+    let same_file = |ids: &[usize]| -> Vec<usize> {
+        ids.iter()
+            .copied()
+            .filter(|&id| fns[id].file == file_idx)
+            .collect()
+    };
+    for i in open..=close.min(lexed.len().saturating_sub(1)) {
+        if lexed.kind_at(i) != Some(TokKind::Ident) || lexed.text_at(i + 1) != "(" {
+            continue;
+        }
+        let name = lexed.text(i);
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Macro head `name!(…)` is not a call.
+        if i > 0 && lexed.text(i - 1) == "!" {
+            continue;
+        }
+        let resolved: Vec<usize> = if i > 0 && lexed.text(i - 1) == "." {
+            // Method call: resolve only when rooted at `self`.
+            if receiver_rooted_at_self(lexed, i - 1) {
+                by_name
+                    .get(name)
+                    .map(|ids| same_file(ids))
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            }
+        } else if i >= 3 && lexed.is_path_sep(i - 2) {
+            // Qualified call `Q::name(…)`.
+            let q = if lexed.kind_at(i - 3) == Some(TokKind::Ident) {
+                lexed.text(i - 3)
+            } else {
+                ""
+            };
+            let candidates = by_name.get(name).cloned().unwrap_or_default();
+            if q == "Self" {
+                same_file(&candidates)
+            } else if let Some(owned) = by_owner.get(q) {
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|id| owned.contains(id))
+                    .collect()
+            } else if looks_generic(q) || looks_module(q) {
+                candidates
+            } else {
+                Vec::new()
+            }
+        } else {
+            // Bare call.
+            by_name.get(name).cloned().unwrap_or_default()
+        };
+        for callee in resolved {
+            out.push(Call { callee, tok: i });
+        }
+    }
+    out
+}
+
+/// From the `.` before a method name, walks the receiver chain left
+/// through `ident . ident . … ( )`-ish links and reports whether its
+/// root is literally `self`.
+fn receiver_rooted_at_self(lexed: &Lexed, mut dot: usize) -> bool {
+    loop {
+        if dot == 0 {
+            return false;
+        }
+        let prev = dot - 1;
+        match lexed.text(prev) {
+            ")" | "]" => {
+                // Call or index result: find the matching opener, then
+                // continue left of it (past the method name if any).
+                let mut depth = 0isize;
+                let mut j = prev;
+                loop {
+                    match lexed.text(j) {
+                        ")" | "]" | "}" => depth += 1,
+                        "(" | "[" | "{" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        return false;
+                    }
+                    j -= 1;
+                }
+                if j == 0 {
+                    return false;
+                }
+                // Past the opener: a name before it? (`foo(…)` / `x[…]`)
+                if lexed.kind_at(j - 1) == Some(TokKind::Ident) {
+                    dot = j - 1; // re-inspect from the name's position
+                    if lexed.text(dot) == "self" {
+                        return true;
+                    }
+                    if dot == 0 || lexed.text(dot - 1) != "." {
+                        return false;
+                    }
+                    dot -= 1;
+                    continue;
+                }
+                return false;
+            }
+            _ => {
+                if lexed.kind_at(prev) != Some(TokKind::Ident) {
+                    return false;
+                }
+                if lexed.text(prev) == "self" {
+                    return true;
+                }
+                if prev == 0 || lexed.text(prev - 1) != "." {
+                    return false;
+                }
+                dot = prev - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Workspace;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+    }
+
+    fn edge_names(ws: &Workspace, g: &CallGraph, from: &str) -> Vec<String> {
+        let from_id = g.named(from)[0];
+        g.calls[from_id]
+            .iter()
+            .map(|c| {
+                let fr = g.fns[c.callee];
+                ws.files[fr.file].items.funcs[fr.func].name.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn entry() { helper(); Widget::new(); frame::poke(); TcpStream::connect(); }
+                 fn helper() {}",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "impl Widget { fn new() {} } pub fn poke() {} impl Foreign { fn connect() {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let callees = edge_names(&w, &g, "entry");
+        // TcpStream has no workspace impl, so connect() must NOT link to
+        // Foreign::connect.
+        assert_eq!(callees, ["helper", "new", "poke"]);
+    }
+
+    #[test]
+    fn generic_qualifier_falls_back_to_name() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn run(input: &mut &[u8]) { let _ = E::decode(input); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "impl Op { fn decode() {} } impl Other { fn decode() {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        assert_eq!(edge_names(&w, &g, "run"), ["decode", "decode"]);
+    }
+
+    #[test]
+    fn self_methods_resolve_same_file_only() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl R { fn next(&mut self) { self.pop(); self.buf.pop(); stream.shutdown(); } \
+                          fn pop(&mut self) {} }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "impl S { fn shutdown(&self) {} fn pop(&self) {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        // self.pop() links to R::pop only; self.buf.pop() is rooted at
+        // self too (field method) and also links by name within the file;
+        // stream.shutdown() stays unresolved.
+        let callees = edge_names(&w, &g, "next");
+        assert_eq!(callees, ["pop", "pop"]);
+    }
+
+    #[test]
+    fn test_functions_are_invisible() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn prod() { helper(); } \
+             #[cfg(test)] mod tests { pub fn helper() { panic!() } } \
+             fn helper() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        assert_eq!(g.named("helper").len(), 1);
+        assert_eq!(edge_names(&w, &g, "prod"), ["helper"]);
+    }
+
+    #[test]
+    fn reachability_walks_transitively() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); } fn b() { c(); } fn c() {} fn d() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let reach = g.reachable(g.named("a").iter().copied());
+        let names: Vec<_> = reach
+            .iter()
+            .map(|&id| {
+                let fr = g.fns[id];
+                w.files[fr.file].items.funcs[fr.func].name.clone()
+            })
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

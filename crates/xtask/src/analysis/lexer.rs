@@ -1,0 +1,491 @@
+//! A hand-rolled Rust lexer producing the token stream every analysis
+//! runs on.
+//!
+//! This replaces the old `mask_lexical` blanking pass: instead of erasing
+//! comments and literals from a copy of the source and regex-ish matching
+//! what's left, the analyses see *tokens* with kinds and positions, so a
+//! rule name inside a doc comment, a `lock()` inside a string, or a
+//! lifetime that looks like an unterminated char literal can never
+//! confuse them.
+//!
+//! The lexer handles the parts of Rust's lexical grammar that tripped (or
+//! nearly tripped) the old scanner:
+//!
+//! - **lifetimes vs. char literals** — `'a` in `fn f<'a>(…)` is a
+//!   [`TokKind::Lifetime`]; `'a'`, `' '`, `'\n'`, `'\u{7f}'` are
+//!   [`TokKind::Char`];
+//! - **byte literals** — `b'x'` is a char-class literal, `b"…"` /
+//!   `br#"…"#` are string-class literals;
+//! - **raw strings** — `r"…"`, `r#"…"#` with any number of hashes,
+//!   terminated only by a quote followed by the same number of hashes;
+//! - **nested block comments** — `/* /* */ */` tracked with a depth
+//!   counter;
+//! - **raw identifiers** — `r#match` lexes as the identifier `match`
+//!   (the analyses see the unprefixed name).
+//!
+//! It does not attempt full fidelity on numeric literals or multi-char
+//! operators: numbers collapse into [`TokKind::Num`], and operators are
+//! emitted as single-character [`TokKind::Punct`] tokens (`::` is two
+//! colons). The analyses that need multi-token shapes (paths, call
+//! heads, index expressions) match short token sequences instead.
+
+use std::fmt;
+
+/// Token classification. Comments and whitespace are not emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are unprefixed).
+    Ident,
+    /// `'a`, `'static`, `'_` — a tick not closed as a char literal.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Integer or float literal, including suffixes (`0xFF`, `1_000u64`).
+    Num,
+    /// A single punctuation / operator character.
+    Punct,
+}
+
+/// One token: kind plus its span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+/// A lexed source file: the original text plus its token stream.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    src: String,
+    tokens: Vec<Token>,
+}
+
+impl Lexed {
+    /// Lexes `src`. Total: the lexer never fails — bytes it cannot
+    /// classify become [`TokKind::Punct`] so analyses degrade gracefully
+    /// on exotic input rather than silently skipping a file.
+    pub fn new(src: impl Into<String>) -> Self {
+        let src = src.into();
+        let tokens = lex(&src);
+        Lexed { src, tokens }
+    }
+
+    /// The token stream.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The source text of token `i`. Raw identifiers are returned without
+    /// their `r#` prefix so `r#match` compares equal to `match`.
+    pub fn text(&self, i: usize) -> &str {
+        let t = self.tokens[i];
+        let s = &self.src[t.start..t.end];
+        if t.kind == TokKind::Ident {
+            s.strip_prefix("r#").unwrap_or(s)
+        } else {
+            s
+        }
+    }
+
+    /// `text(i)` if `i` is in range, else `""` — lets sequence matchers
+    /// probe past the end without bounds checks.
+    pub fn text_at(&self, i: usize) -> &str {
+        if i < self.tokens.len() {
+            self.text(i)
+        } else {
+            ""
+        }
+    }
+
+    /// Kind of token `i`, or `None` past the end.
+    pub fn kind_at(&self, i: usize) -> Option<TokKind> {
+        self.tokens.get(i).map(|t| t.kind)
+    }
+
+    /// 1-based line of token `i` (clamped to the last token).
+    pub fn line_of(&self, i: usize) -> usize {
+        match self.tokens.get(i) {
+            Some(t) => t.line,
+            None => self.tokens.last().map_or(1, |t| t.line),
+        }
+    }
+
+    /// The trimmed source line containing token `i`, for findings.
+    pub fn line_text(&self, i: usize) -> &str {
+        let line = self.line_of(i);
+        self.src.lines().nth(line - 1).unwrap_or("").trim()
+    }
+
+    /// True if token `i` is an identifier with exactly this text.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.kind_at(i) == Some(TokKind::Ident) && self.text(i) == name
+    }
+
+    /// True if tokens `i, i+1` are the two colons of a `::`.
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.text_at(i) == ":" && self.text_at(i + 1) == ":"
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the file lexed to nothing (empty or all comments).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl fmt::Display for Lexed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            writeln!(f, "{:>5} {:?} {:?}", i, t.kind, self.text(i))?;
+        }
+        Ok(())
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, off: usize) -> u8 {
+        self.b.get(self.i + off).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while c.i < c.b.len() {
+        let start = c.i;
+        let line = c.line;
+        let kind = match c.peek(0) {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+                continue;
+            }
+            b'/' if c.peek(1) == b'/' => {
+                while c.i < c.b.len() && c.peek(0) != b'\n' {
+                    c.bump();
+                }
+                continue;
+            }
+            b'/' if c.peek(1) == b'*' => {
+                c.bump_n(2);
+                let mut depth = 1usize;
+                while c.i < c.b.len() && depth > 0 {
+                    if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                        depth += 1;
+                        c.bump_n(2);
+                    } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                        depth -= 1;
+                        c.bump_n(2);
+                    } else {
+                        c.bump();
+                    }
+                }
+                continue;
+            }
+            b'\'' => lex_tick(&mut c),
+            b'"' => {
+                lex_string(&mut c);
+                TokKind::Str
+            }
+            ch if is_ident_start(ch) => lex_ident_or_prefixed(&mut c),
+            ch if ch.is_ascii_digit() => {
+                lex_number(&mut c);
+                TokKind::Num
+            }
+            _ => {
+                c.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: c.i,
+            line,
+        });
+    }
+    out
+}
+
+/// At a `'`: char literal or lifetime?
+fn lex_tick(c: &mut Cursor<'_>) -> TokKind {
+    c.bump(); // the tick
+    if c.peek(0) == b'\\' {
+        // Escape: '\n', '\'', '\u{7f}' … scan to the closing quote.
+        c.bump_n(2); // backslash + escaped byte (covers '\'')
+        while c.i < c.b.len() && c.peek(0) != b'\'' {
+            c.bump();
+        }
+        c.bump(); // closing quote
+        TokKind::Char
+    } else if is_ident_start(c.peek(0)) || c.peek(0).is_ascii_digit() {
+        // Could be 'x' (char) or 'a / 'static (lifetime): a char literal
+        // closes immediately after one character.
+        if c.peek(1) == b'\'' {
+            c.bump_n(2);
+            TokKind::Char
+        } else {
+            while c.i < c.b.len() && is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            TokKind::Lifetime
+        }
+    } else if c.peek(1) == b'\'' {
+        // Punctuation char like ' ' or '('.
+        c.bump_n(2);
+        TokKind::Char
+    } else {
+        // Stray tick (macro-heavy code); treat as a lifetime-ish token.
+        TokKind::Lifetime
+    }
+}
+
+/// At a `"`: cooked string with escapes.
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while c.i < c.b.len() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// At `r`/`b` or any ident start: raw string, byte string/char, raw
+/// identifier, or a plain identifier.
+fn lex_ident_or_prefixed(c: &mut Cursor<'_>) -> TokKind {
+    // b'x'
+    if c.peek(0) == b'b' && c.peek(1) == b'\'' {
+        c.bump();
+        lex_tick(c);
+        return TokKind::Char;
+    }
+    // b"…"
+    if c.peek(0) == b'b' && c.peek(1) == b'"' {
+        c.bump();
+        lex_string(c);
+        return TokKind::Str;
+    }
+    // r"…", r#"…"#, br"…", br#"…"#, r#ident
+    let raw_head = if c.peek(0) == b'r' {
+        Some(1)
+    } else if c.peek(0) == b'b' && c.peek(1) == b'r' {
+        Some(2)
+    } else {
+        None
+    };
+    if let Some(skip) = raw_head {
+        let mut j = skip;
+        while c.peek(j) == b'#' {
+            j += 1;
+        }
+        if c.peek(j) == b'"' {
+            let hashes = j - skip;
+            c.bump_n(j + 1); // prefix, hashes, opening quote
+            lex_raw_tail(c, hashes);
+            return TokKind::Str;
+        }
+        if skip == 1 && j > skip && is_ident_start(c.peek(j)) {
+            // Raw identifier r#name: consume prefix then the name.
+            c.bump_n(j);
+            while c.i < c.b.len() && is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            return TokKind::Ident;
+        }
+    }
+    while c.i < c.b.len() && is_ident_continue(c.peek(0)) {
+        c.bump();
+    }
+    TokKind::Ident
+}
+
+/// Past the opening quote of a raw string: scan to `"` + `hashes` hashes.
+fn lex_raw_tail(c: &mut Cursor<'_>, hashes: usize) {
+    while c.i < c.b.len() {
+        if c.peek(0) == b'"' {
+            let mut h = 0;
+            while h < hashes && c.peek(1 + h) == b'#' {
+                h += 1;
+            }
+            if h == hashes {
+                c.bump_n(1 + hashes);
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// At a digit: numeric literal, loosely (suffixes, underscores, hex,
+/// exponents, a fractional part — but `1..2` stays `1` `.` `.` `2`).
+fn lex_number(c: &mut Cursor<'_>) {
+    while c.i < c.b.len() && (is_ident_continue(c.peek(0))) {
+        c.bump();
+    }
+    if c.peek(0) == b'.' && c.peek(1).is_ascii_digit() {
+        c.bump();
+        while c.i < c.b.len() && is_ident_continue(c.peek(0)) {
+            c.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let l = Lexed::new(src);
+        (0..l.len())
+            .map(|i| (l.tokens()[i].kind, l.text(i).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lifetime_in_generics_is_not_a_char_literal() {
+        // The old mask_lexical risked lexing `'a` in `<'a>` as an
+        // unterminated char literal, swallowing the rest of the file.
+        let src = "fn life<'a>(v: &'a u8) -> &'a u8 { v.lock() }";
+        let l = Lexed::new(src);
+        let lifetimes: Vec<_> = (0..l.len())
+            .filter(|&i| l.tokens()[i].kind == TokKind::Lifetime)
+            .map(|i| l.text(i).to_string())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'a"]);
+        // Crucially, the `lock` ident after the lifetimes is still seen.
+        assert!((0..l.len()).any(|i| l.is_ident(i, "lock")));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("let c = 'x'; let s: &'static str = \"\"; let t = ' '; let n = '\\n';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, ["'x'", "' '", "'\\n'"]);
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"let a = b'x'; let b = b"bytes"; let c = br#"raw"#;"##);
+        assert!(toks.contains(&(TokKind::Char, "b'x'".into())));
+        assert!(toks.contains(&(TokKind::Str, "b\"bytes\"".into())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = "let s = r#\"contains \" quote and lock()\"#; lock()";
+        let l = Lexed::new(src);
+        // The lock() inside the raw string is literal text, not tokens;
+        // the one outside is an ident.
+        let idents: Vec<_> = (0..l.len())
+            .filter(|&i| l.tokens()[i].kind == TokKind::Ident)
+            .map(|i| l.text(i).to_string())
+            .collect();
+        assert_eq!(idents, ["let", "s", "lock"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            [(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+    }
+
+    #[test]
+    fn unicode_escape_in_char() {
+        let toks = kinds(r"let c = '\u{7f}'; after");
+        assert!(toks.contains(&(TokKind::Char, r"'\u{7f}'".into())));
+        assert!(toks.contains(&(TokKind::Ident, "after".into())));
+    }
+
+    #[test]
+    fn raw_identifier_unprefixed() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "match".into())));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "quote \" inside"; tail"#);
+        assert!(toks.contains(&(TokKind::Ident, "tail".into())));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nspan\" c";
+        let l = Lexed::new(src);
+        let find = |name: &str| (0..l.len()).find(|&i| l.is_ident(i, name)).unwrap();
+        assert_eq!(l.line_of(find("a")), 1);
+        assert_eq!(l.line_of(find("b")), 4);
+        assert_eq!(l.line_of(find("c")), 5);
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let toks = kinds("let x = 0xFF_u64 + 1_000 + 1.5e3; let r = 0..4;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, ["0xFF_u64", "1_000", "1.5e3", "0", "4"]);
+    }
+}

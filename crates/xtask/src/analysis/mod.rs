@@ -1,0 +1,189 @@
+//! The workspace static analyzer behind `cargo xtask lint`.
+//!
+//! Layered as: [`lexer`] (token stream) → [`parser`] (function table,
+//! `#[cfg(test)]` spans) → [`callgraph`] (shallow intra-workspace call
+//! graph) → the analyses:
+//!
+//! | Rule | What it proves |
+//! |---|---|
+//! | `determinism` ([`rules`]) | the sans-IO protocol crates take no wall-clock or entropy |
+//! | `wire-panic` ([`wirepanic`]) | no panic site is reachable from a decode entry point fed attacker bytes |
+//! | `lock-order` ([`locks`]) | the cross-crate `Mutex` acquisition-order graph is acyclic (no static deadlock) |
+//! | `layering` ([`layering`]) | `StackWire`/`Command` variants are constructed and consumed only by their declared layers, and nothing outside the runtimes touches `Transport` |
+//!
+//! Vetted exceptions live in the committed `lint-allow.toml` baseline
+//! ([`allow`]); stale entries fail the gate so the baseline cannot rot.
+//! Output formats (human, `--json`, `--github` annotations) are in
+//! [`report`].
+
+pub mod allow;
+pub mod callgraph;
+pub mod layering;
+pub mod lexer;
+pub mod locks;
+pub mod parser;
+pub mod report;
+pub mod rules;
+pub mod wirepanic;
+
+use lexer::Lexed;
+use parser::FileItems;
+use std::fmt;
+use std::path::Path;
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line (or cycle summary), trimmed.
+    pub snippet: String,
+    /// Human explanation: what is wrong and why it matters.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.path, self.line, self.rule, self.snippet, self.detail
+        )
+    }
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The crate this file belongs to (`net` for `crates/net/src/…`,
+    /// `root` for the top-level `src/`).
+    pub crate_name: String,
+    /// Token stream.
+    pub lexed: Lexed,
+    /// Function table and test spans.
+    pub items: FileItems,
+}
+
+/// The parsed workspace: every `.rs` under `crates/*/src/` and `src/`.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Parsed files, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+fn crate_of(path: &str) -> String {
+    match path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("unknown").to_string(),
+        None => "root".to_string(),
+    }
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory sources — the fixture tests
+    /// seed known-bad snippets through this without touching the
+    /// filesystem.
+    pub fn from_sources(sources: Vec<(String, String)>) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(path, src)| {
+                let lexed = Lexed::new(src);
+                let items = parser::parse(&lexed);
+                SourceFile {
+                    crate_name: crate_of(&path),
+                    path,
+                    lexed,
+                    items,
+                }
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files }
+    }
+
+    /// Loads and parses the real workspace rooted at `root`: library
+    /// sources only (`crates/*/src/**`, `src/**`) — integration tests,
+    /// examples, benches, and `shims/` are out of scope for the gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut sources = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let src_dir = entry?.path().join("src");
+                if src_dir.is_dir() {
+                    collect_rs(&src_dir, &mut sources)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut sources)?;
+        }
+        let rel_sources = sources
+            .into_iter()
+            .map(|p| {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                std::fs::read_to_string(&p).map(|s| (rel, s))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Workspace::from_sources(rel_sources))
+    }
+
+    /// The parsed file at `path`, if present.
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every analysis with no baseline applied. Findings are sorted by
+/// path, line, rule.
+pub fn analyze_raw(ws: &Workspace) -> Vec<Finding> {
+    let graph = callgraph::CallGraph::build(ws);
+    let mut findings = Vec::new();
+    findings.extend(rules::determinism(ws));
+    findings.extend(layering::check(ws));
+    findings.extend(wirepanic::audit(ws, &graph));
+    findings.extend(locks::check(ws, &graph));
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// Runs every analysis and applies the baseline: findings matched by an
+/// allow entry are suppressed; allow entries that matched nothing become
+/// `stale-allow` findings so the baseline cannot outlive its reasons.
+pub fn analyze(ws: &Workspace, allow_list: &allow::AllowList) -> Vec<Finding> {
+    let raw = analyze_raw(ws);
+    allow_list.apply(raw)
+}

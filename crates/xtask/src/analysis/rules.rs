@@ -1,0 +1,130 @@
+//! Determinism rule: the sans-IO protocol crates must not read wall
+//! clocks or entropy.
+//!
+//! The protocol stack, the logical clocks, and the membership machine
+//! are pure state machines driven by injected events — that is what
+//! makes the DPOR explorer's schedules replayable and the trace oracle's
+//! verdicts meaningful. A stray `Instant::now()` or `thread_rng()` in
+//! those crates silently re-introduces real time and breaks replay, so
+//! any mention of the banned time/entropy APIs inside [`SCOPES`] fails
+//! the gate. Matching is on the token stream: identifiers and `::` paths
+//! only, so comments, strings, and `#[cfg(test)]` code never trip it —
+//! the precise failure mode of the old text scanner this replaces.
+
+use crate::analysis::lexer::TokKind;
+use crate::analysis::{Finding, Workspace};
+
+/// Path prefixes that must stay deterministic.
+pub const SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/clocks/src/",
+    "crates/membership/src/",
+];
+
+/// Banned identifiers (any position).
+const BANNED_IDENTS: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time"),
+    ("thread_rng", "OS entropy"),
+    ("from_entropy", "OS entropy"),
+];
+
+/// Banned `a::b` path pairs.
+const BANNED_PATHS: &[(&str, &str, &str)] = &[
+    ("Instant", "now", "monotonic wall-clock time"),
+    ("std", "time", "wall-clock time"),
+    ("rand", "random", "OS entropy"),
+];
+
+/// Runs the determinism rule over library (non-test) code in [`SCOPES`].
+pub fn determinism(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !SCOPES.iter().any(|s| file.path.starts_with(s)) {
+            continue;
+        }
+        let lexed = &file.lexed;
+        for i in 0..lexed.len() {
+            if lexed.kind_at(i) != Some(TokKind::Ident) || file.items.in_test(i) {
+                continue;
+            }
+            let name = lexed.text(i);
+            let hit = BANNED_IDENTS
+                .iter()
+                .find(|(b, _)| *b == name)
+                .map(|(b, what)| (format!("`{b}`"), *what))
+                .or_else(|| {
+                    BANNED_PATHS
+                        .iter()
+                        .find(|(a, b, _)| {
+                            *a == name && lexed.is_path_sep(i + 1) && lexed.text_at(i + 3) == *b
+                        })
+                        .map(|(a, b, what)| (format!("`{a}::{b}`"), *what))
+                });
+            if let Some((path, what)) = hit {
+                findings.push(Finding {
+                    rule: "determinism",
+                    path: file.path.clone(),
+                    line: lexed.line_of(i),
+                    snippet: lexed.line_text(i).to_string(),
+                    detail: format!(
+                        "{path} pulls {what} into a sans-IO protocol crate; inject time/randomness \
+                         through the event interface so schedules stay replayable"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Workspace;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(vec![(path.to_string(), src.to_string())]);
+        determinism(&ws)
+    }
+
+    #[test]
+    fn instant_now_in_core_flagged() {
+        let f = findings(
+            "crates/core/src/stack.rs",
+            "fn tick(&mut self) { let t = Instant::now(); self.last = t; }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "determinism");
+        assert!(f[0].detail.contains("Instant::now"));
+    }
+
+    #[test]
+    fn same_code_outside_scope_is_fine() {
+        let src = "fn tick() { let _ = Instant::now(); }";
+        assert!(findings("crates/net/src/conn.rs", src).is_empty());
+        assert!(findings("crates/xtask/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_tests_do_not_trip() {
+        let src = "// uses Instant::now for timing\n\
+                   const DOC: &str = \"SystemTime is banned\";\n\
+                   #[cfg(test)] mod tests { fn t() { let _ = SystemTime::now(); } }\n";
+        assert!(findings("crates/clocks/src/lamport.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ident_substrings_do_not_trip() {
+        // `InstantLike::now` and `my_thread_rng_seed` share substrings
+        // with banned names but are different identifiers.
+        let src = "fn f() { InstantLike::now(); let my_thread_rng_seed = 3; }";
+        assert!(findings("crates/membership/src/detector.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_time_path_flagged() {
+        let f = findings("crates/core/src/delivery.rs", "use std::time::Duration;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("std::time"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Workspace automation library. The substance is [`analysis`] — the
+//! static analyzer behind `cargo xtask lint` — exposed as a library so
+//! the integration tests can run the analyses on fixtures and on the
+//! real workspace without shelling out to the binary.
+
+pub mod analysis;

@@ -2,13 +2,14 @@
 //! `.cargo/config.toml` for the alias).
 //!
 //! Commands:
-//! - `lint` — the protocol-hygiene gate (see [`lint`] for the rules).
-//!   Exits nonzero on any finding, so CI can use it directly.
+//! - `lint [--json|--github]` — the static-analysis gate (see
+//!   [`xtask::analysis`] for the rules: determinism, wire-panic,
+//!   lock-order, layering). Applies the `lint-allow.toml` baseline and
+//!   exits nonzero on any finding, so CI can use it directly.
 
-mod lint;
-
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::analysis::{self, allow::AllowList, report};
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root.
@@ -19,32 +20,66 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+fn load_baseline(root: &Path) -> Result<AllowList, String> {
+    let path = root.join("lint-allow.toml");
+    if !path.is_file() {
+        return Ok(AllowList::empty());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    AllowList::parse("lint-allow.toml", &text).map_err(|e| format!("lint-allow.toml:{e}"))
+}
+
+fn run_lint(format: report::Format) -> ExitCode {
+    let root = workspace_root();
+    let baseline = match load_baseline(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ws = match analysis::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint: io error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = analysis::analyze(&ws, &baseline);
+    print!("{}", report::render(&findings, format));
+    if findings.is_empty() {
+        if format == report::Format::Human {
+            println!(
+                "rules: determinism, wire-panic, lock-order, layering \
+                 ({} files, {} baseline entries)",
+                ws.files.len(),
+                baseline.entries.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("lint") => {
-            let root = workspace_root();
-            match lint::lint_workspace(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!("xtask lint: clean (determinism, wire-unwrap, transport-bypass)");
-                    ExitCode::SUCCESS
+            let format = match args.get(1).map(String::as_str) {
+                None => report::Format::Human,
+                Some("--json") => report::Format::Json,
+                Some("--github") => report::Format::Github,
+                Some(other) => {
+                    eprintln!("usage: cargo xtask lint [--json|--github] (unknown flag: {other})");
+                    return ExitCode::FAILURE;
                 }
-                Ok(findings) => {
-                    for f in &findings {
-                        println!("{f}");
-                    }
-                    println!("xtask lint: {} finding(s)", findings.len());
-                    ExitCode::FAILURE
-                }
-                Err(e) => {
-                    eprintln!("xtask lint: io error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            };
+            run_lint(format)
         }
         other => {
             eprintln!(
-                "usage: cargo xtask lint{}",
+                "usage: cargo xtask lint [--json|--github]{}",
                 other
                     .map(|o| format!(" (unknown command: {o})"))
                     .unwrap_or_default()

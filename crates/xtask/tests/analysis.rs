@@ -1,0 +1,196 @@
+//! Integration tests for the static analyzer: the real workspace must be
+//! clean under the committed baseline, and each bad fixture under
+//! `tests/fixtures/` must fail its rule.
+
+use std::path::PathBuf;
+use xtask::analysis::{self, allow::AllowList, callgraph::CallGraph, locks, report, Workspace};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn real_workspace() -> Workspace {
+    Workspace::load(&repo_root()).expect("load workspace sources")
+}
+
+fn committed_baseline() -> AllowList {
+    let text = std::fs::read_to_string(repo_root().join("lint-allow.toml"))
+        .expect("committed lint-allow.toml");
+    AllowList::parse("lint-allow.toml", &text).expect("baseline parses")
+}
+
+fn fixture_ws(files: &[(&str, &str)]) -> Workspace {
+    Workspace::from_sources(
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+    )
+}
+
+#[test]
+fn real_workspace_is_clean_under_committed_baseline() {
+    let ws = real_workspace();
+    assert!(ws.files.len() > 20, "workspace scan looks truncated");
+    let findings = analysis::analyze(&ws, &committed_baseline());
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_entries_all_cover_live_findings() {
+    // Every committed allow entry must still match something; otherwise
+    // analyze() would emit stale-allow findings (covered above), but this
+    // pins the *raw* findings to being exactly the baselined set.
+    let ws = real_workspace();
+    let raw = analysis::analyze_raw(&ws);
+    let baseline = committed_baseline();
+    assert!(
+        !baseline.entries.is_empty(),
+        "baseline exists to exercise the suppression path"
+    );
+    for f in &raw {
+        assert!(
+            baseline
+                .entries
+                .iter()
+                .any(|e| f.rule == e.rule && f.path.starts_with(&e.path)),
+            "un-baselined finding: {f}"
+        );
+    }
+}
+
+#[test]
+fn real_lock_graph_is_nontrivial_and_acyclic() {
+    let ws = real_workspace();
+    let graph = CallGraph::build(&ws);
+    let locks = locks::lock_graph(&ws, &graph);
+    // The TCP connection manager alone has a dozen acquisition sites; if
+    // the analysis sees far fewer, it has gone blind, and an "acyclic"
+    // verdict over a graph it cannot see proves nothing.
+    assert!(
+        locks.sites.len() >= 10,
+        "expected >=10 lock acquisition sites, saw {}",
+        locks.sites.len()
+    );
+    assert!(locks.classes().contains("writers"), "{:?}", locks.classes());
+    let cycles = locks.cycles();
+    assert!(cycles.is_empty(), "lock-order cycles: {cycles:?}");
+}
+
+#[test]
+fn lock_cycle_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[
+        (
+            "crates/net/src/chan.rs",
+            include_str!("fixtures/lock_cycle_net.rs"),
+        ),
+        (
+            "crates/simnet/src/chan.rs",
+            include_str!("fixtures/lock_cycle_sim.rs"),
+        ),
+    ]);
+    let findings = analysis::analyze_raw(&ws);
+    let cycles: Vec<_> = findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(cycles.len(), 1, "{findings:?}");
+    assert_eq!(cycles[0].snippet, "inbox -> links -> inbox");
+    // The witness text names both crates' files — the cycle only exists
+    // across the crate boundary.
+    assert!(cycles[0].detail.contains("crates/net/src/chan.rs"));
+    assert!(cycles[0].detail.contains("crates/simnet/src/chan.rs"));
+}
+
+#[test]
+fn allowlisted_lock_cycle_passes_without_stale_entries() {
+    let ws = fixture_ws(&[
+        (
+            "crates/net/src/chan.rs",
+            include_str!("fixtures/lock_cycle_net.rs"),
+        ),
+        (
+            "crates/simnet/src/chan.rs",
+            include_str!("fixtures/lock_cycle_sim.rs"),
+        ),
+    ]);
+    let allow = AllowList::parse(
+        "lock_cycle_allow.toml",
+        include_str!("fixtures/lock_cycle_allow.toml"),
+    )
+    .expect("fixture baseline parses");
+    let findings = analysis::analyze(&ws, &allow);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn wire_panic_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/net/src/frame.rs",
+        include_str!("fixtures/wire_panic.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["wire-panic", "wire-panic"], "{findings:?}");
+    assert!(findings.iter().any(|f| f.detail.contains("`.unwrap()`")));
+    assert!(findings.iter().any(|f| f.detail.contains("unchecked `+`")));
+}
+
+#[test]
+fn layering_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/replica/src/reporter.rs",
+        include_str!("fixtures/layering_bypass.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["layering", "layering"], "{findings:?}");
+    assert!(findings.iter().any(|f| f.detail.contains("Transport")));
+    assert!(findings
+        .iter()
+        .any(|f| f.detail.contains("StackWire::Heartbeat")));
+}
+
+#[test]
+fn determinism_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/clocks/src/wall.rs",
+        include_str!("fixtures/determinism.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    assert!(!findings.is_empty());
+    assert!(
+        findings.iter().all(|f| f.rule == "determinism"),
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.detail.contains("Instant::now")));
+}
+
+#[test]
+fn json_output_round_trips_the_fixture_findings() {
+    let ws = fixture_ws(&[(
+        "crates/net/src/frame.rs",
+        include_str!("fixtures/wire_panic.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let json = report::render(&findings, report::Format::Json);
+    assert!(json.starts_with("{\"findings\":["));
+    assert!(json
+        .trim_end()
+        .ends_with(&format!("\"count\":{}}}", findings.len())));
+    assert!(json.contains("\"rule\":\"wire-panic\""));
+    assert!(json.contains("\"path\":\"crates/net/src/frame.rs\""));
+    // The GitHub renderer emits one annotation per finding.
+    let gh = report::render(&findings, report::Format::Github);
+    assert_eq!(gh.lines().count(), findings.len());
+    assert!(gh.lines().all(|l| l.starts_with("::error file=")));
+}

@@ -1,0 +1,6 @@
+//! Bad fixture (determinism): a protocol crate reading the wall clock.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//! Bad fixture (layering): an application crate forging a membership
+//! message and reaching for the transport directly.
+use causal_simnet::Transport;
+
+pub fn forge(view: u64) -> causal_core::StackWire {
+    let _ = view;
+    StackWire::Heartbeat
+}

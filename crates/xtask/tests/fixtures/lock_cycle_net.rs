@@ -1,0 +1,17 @@
+//! Bad fixture (lock-order, AB side): acquires `inbox` then `links`.
+//! Paired with `lock_cycle_sim.rs`, which takes them in the opposite
+//! order from another crate — a classic cross-crate AB/BA deadlock.
+use std::sync::Mutex;
+
+pub struct Chan {
+    pub inbox: Mutex<Vec<u8>>,
+    pub links: Mutex<Vec<u8>>,
+}
+
+impl Chan {
+    pub fn push(&self, byte: u8) {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.push(byte);
+        inbox.extend(self.links.lock().unwrap().iter().copied());
+    }
+}

@@ -1,0 +1,15 @@
+//! Bad fixture (lock-order, BA side): acquires `links` then `inbox`.
+//! See `lock_cycle_net.rs` for the other half of the deadlock.
+use std::sync::Mutex;
+
+pub struct Router {
+    pub links: Mutex<Vec<u8>>,
+    pub inbox: Mutex<Vec<u8>>,
+}
+
+impl Router {
+    pub fn route(&self) {
+        let links = self.links.lock().unwrap();
+        self.inbox.lock().unwrap().extend(links.iter().copied());
+    }
+}

@@ -1,0 +1,7 @@
+//! Bad fixture (wire-panic): a decode entry with an unwrap and
+//! unchecked length arithmetic on attacker-controlled bytes.
+pub fn parse_header(buf: &[u8]) -> (u8, usize) {
+    let tag = *buf.first().unwrap();
+    let len = buf[1] as usize + buf[2] as usize;
+    (tag, len)
+}
