@@ -11,6 +11,13 @@
 //!   (*potential* causality), which may include incidental dependencies the
 //!   application never asked for.
 //!
+//! A third causal engine scales past both: [`PcEngine`] (PC-broadcast,
+//! Nédelec et al.) derives causal order from FIFO dissemination over a
+//! spanning overlay and carries **constant-size** per-message metadata —
+//! see [`mod@pcbcast`]. It is *routed* ([`DeliveryEngine::ROUTED`]): it
+//! disseminates over its own overlay links instead of full-mesh
+//! reliable broadcast, through the `LinkFrame` hooks below.
+//!
 //! Two weaker engines serve as baselines: [`FifoDelivery`] (per-sender
 //! order only) and no engine at all (process on receipt).
 //!
@@ -20,16 +27,21 @@
 
 mod fifo;
 mod graph_engine;
+pub mod pcbcast;
 pub mod reference;
 mod vector_engine;
 
 pub use fifo::{FifoDelivery, FifoEnvelope};
 pub use graph_engine::GraphDelivery;
+pub use pcbcast::{PcEngine, PcEnvelope};
 pub use vector_engine::{CbcastEngine, VtEnvelope};
 
 use crate::osend::OccursAfter;
 use crate::rbcast::HasMsgId;
+use crate::stack::Timed;
 use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_simnet::SimTime;
+use pcbcast::link::LinkFrame;
 
 /// Engine-agnostic view of one delivered message, handed to the unified
 /// [`App`](crate::stack::App) trait.
@@ -71,6 +83,34 @@ impl<'a, Op> Delivered<'a, Op> {
     }
 }
 
+/// A destination-addressed overlay link frame a routed engine wants
+/// transmitted.
+pub type LinkSend<E> = (ProcessId, LinkFrame<Timed<E>>);
+
+/// What a routed engine produced from one inbound frame (or one replayed
+/// envelope): receipt records for tracing, envelopes released to the
+/// application, and frames to transmit (forwards, acks, handshakes).
+#[derive(Debug)]
+pub struct LinkDelivery<E> {
+    /// `(id, sent_at, fresh)` per data message processed, in link order.
+    /// `fresh` is `false` for duplicates the engine absorbed.
+    pub receipts: Vec<(MsgId, SimTime, bool)>,
+    /// Envelopes released to the application, in delivery order.
+    pub released: Vec<E>,
+    /// Frames to transmit.
+    pub sends: Vec<LinkSend<E>>,
+}
+
+impl<E> Default for LinkDelivery<E> {
+    fn default() -> Self {
+        LinkDelivery {
+            receipts: Vec::new(),
+            released: Vec::new(),
+            sends: Vec::new(),
+        }
+    }
+}
+
 /// A causal delivery engine pluggable into
 /// [`ProtocolStack`](crate::stack::ProtocolStack): the layer that decides
 /// *when* a received envelope may be released to the application.
@@ -84,6 +124,14 @@ pub trait DeliveryEngine {
     type Op: Clone;
     /// The engine's wire envelope.
     type Envelope: HasMsgId + Clone;
+
+    /// `true` for engines that disseminate over their own overlay links
+    /// ([`PcEngine`]) instead of full-mesh reliable broadcast. The stack
+    /// branches on this: routed broadcasts go out as link frames via
+    /// [`route_broadcast`](Self::route_broadcast), inbound link frames
+    /// through [`on_link_frame`](Self::on_link_frame), and membership
+    /// changes through [`on_members`](Self::on_members).
+    const ROUTED: bool = false;
 
     /// Creates the sending-capable engine for member `me` of a group of
     /// `n`. Engines that size per-member state (vector clocks) panic if
@@ -137,5 +185,56 @@ pub trait DeliveryEngine {
     /// bounds). Engines without compaction report 0.
     fn retained_len(&self) -> usize {
         0
+    }
+
+    // --- Routed-engine hooks (no-ops unless `ROUTED`) ------------------
+
+    /// Reconciles the engine's overlay with a newly installed member
+    /// set; returns handshake frames for freshly-opened links.
+    fn on_members(&mut self, _members: &[ProcessId]) -> Vec<LinkSend<Self::Envelope>> {
+        Vec::new()
+    }
+
+    /// Disseminates a freshly originated (and already self-delivered)
+    /// envelope over the overlay.
+    fn route_broadcast(&mut self, _timed: Timed<Self::Envelope>) -> Vec<LinkSend<Self::Envelope>> {
+        Vec::new()
+    }
+
+    /// Handles one inbound overlay link frame. `history` is the
+    /// membership layer's retained delivered envelopes (delivery order),
+    /// which quarantine flushing draws from; static stacks pass `&[]`.
+    fn on_link_frame(
+        &mut self,
+        _from: ProcessId,
+        _frame: LinkFrame<Timed<Self::Envelope>>,
+        _history: &[Timed<Self::Envelope>],
+    ) -> LinkDelivery<Self::Envelope> {
+        LinkDelivery::default()
+    }
+
+    /// Handles an envelope arriving through the reliable-broadcast
+    /// side-channel (virtual-synchrony flush re-broadcast, joiner
+    /// replay). The single receipt records whether the engine had not
+    /// yet seen it — routed engines deduplicate here, since their link
+    /// streams and the side-channel overlap.
+    fn on_replay(&mut self, timed: Timed<Self::Envelope>) -> LinkDelivery<Self::Envelope> {
+        let id = timed.msg_id();
+        let sent_at = timed.sent_at;
+        LinkDelivery {
+            receipts: vec![(id, sent_at, true)],
+            released: self.on_receive(timed.env),
+            sends: Vec::new(),
+        }
+    }
+
+    /// Unacknowledged link frames due for retransmission.
+    fn link_retransmissions(&mut self) -> Vec<LinkSend<Self::Envelope>> {
+        Vec::new()
+    }
+
+    /// Whether any link frame still awaits acknowledgement.
+    fn link_has_pending(&self) -> bool {
+        false
     }
 }

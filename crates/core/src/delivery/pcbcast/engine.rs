@@ -1,0 +1,688 @@
+//! The PC-broadcast engine: causal order from FIFO links, O(1) headers.
+//!
+//! Nédelec, Molli & Mostéfaoui's preventive causal broadcast replaces
+//! per-message ordering metadata with a structural invariant: every
+//! member forwards what it delivers, in its own delivery order, on every
+//! *safe* overlay link. Because each member's delivery order respects
+//! causality (inductively) and links are FIFO, any message a link
+//! carries is preceded *on that same link* by every causal predecessor
+//! the receiver still lacks — so delivering at first reception is causal
+//! delivery, and the only per-message control information is the
+//! 12-byte message id ([`crate::wire::pc_overhead_bytes`]).
+//!
+//! # Safe links and the churn quarantine
+//!
+//! The invariant above holds only for links that carried the full
+//! dissemination stream from the moment they opened. A link created
+//! mid-run (membership change) has missed history, so it starts
+//! **unsafe**: the opener sends no application data on it until a
+//! [`LinkBody::Ping`] round-trips. The paper floods the ping through the
+//! existing safe-link graph; under a tree overlay a crash can
+//! *disconnect* that graph (remove the root of a 3-member star and the
+//! two survivors share no safe path), deadlocking a flooded ping — so
+//! this implementation sends the ping directly on the fresh link and has
+//! the [`LinkBody::Pong`] carry the responder's per-origin delivered
+//! watermarks. On pong receipt the opener first flushes, in its own
+//! delivery order, every retained delivered message the responder's
+//! watermarks do not cover, then marks the link safe. The flush restores
+//! exactly the prefix property the invariant needs; the watermark vector
+//! costs O(members) **per churn event**, never per message — the same
+//! asymmetry virtual synchrony already accepts for view installation.
+//!
+//! The retained history handed to [`DeliveryEngine::on_link_frame`] is
+//! the membership layer's flush/replay store, so quarantine costs no
+//! extra copies; static groups (no membership) never open a fresh link
+//! and never need it.
+//!
+//! # The per-origin gate
+//!
+//! Receivers additionally gate delivery on per-origin contiguity:
+//! message `(o, s)` is delivered only once `(o, s-1)` has been. On a
+//! quiesced overlay the gate never holds anything — first reception *is*
+//! causal — but during view transitions a message can briefly arrive
+//! ahead of a predecessor travelling a longer path (vsync flush
+//! re-broadcasts race overlay forwards); the gate absorbs the race and
+//! self-heals when the gap fills. It is also the deduplication point:
+//! ids at or below the origin watermark are duplicates.
+
+use super::link::{Link, LinkBody, LinkFrame};
+use super::overlay::{neighbors, DEFAULT_FANOUT};
+use crate::delivery::{Delivered, DeliveryEngine, LinkDelivery, LinkSend};
+use crate::osend::OccursAfter;
+use crate::rbcast::HasMsgId;
+use crate::stack::Timed;
+use causal_clocks::{MsgId, ProcessId};
+use std::collections::BTreeMap;
+
+/// The constant-size PC-broadcast envelope: message identity and
+/// payload, nothing else. All ordering information is structural
+/// (which link carried it, in what position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcEnvelope<P> {
+    /// Unique message identity (origin + dense per-origin sequence).
+    pub id: MsgId,
+    /// The application payload.
+    pub payload: P,
+}
+
+impl<P> HasMsgId for PcEnvelope<P> {
+    fn msg_id(&self) -> MsgId {
+        self.id
+    }
+}
+
+/// A message parked in the per-origin gate.
+#[derive(Debug, Clone)]
+struct Parked<P> {
+    timed: Timed<PcEnvelope<P>>,
+    /// The link it arrived on (skipped when forwarding), if any.
+    from: Option<ProcessId>,
+    /// Whether to forward on delivery. Messages arriving through the
+    /// membership side-channel (flush re-broadcast, joiner replay) were
+    /// already multicast to everyone and are not re-forwarded.
+    forward: bool,
+}
+
+/// The PC-broadcast [`DeliveryEngine`]: overlay links, FIFO streams, and
+/// a per-origin watermark gate. See the [module docs](self) for the
+/// algorithm and its safety argument.
+#[derive(Debug, Clone)]
+pub struct PcEngine<P> {
+    me: ProcessId,
+    fanout: usize,
+    /// One entry per overlay neighbor (plus lazily-created entries for
+    /// peers whose frames arrive before our view installs).
+    links: BTreeMap<ProcessId, Link<Timed<PcEnvelope<P>>>>,
+    /// Highest contiguously delivered sequence per origin.
+    watermark: BTreeMap<ProcessId, u64>,
+    /// Messages received ahead of their per-origin predecessor.
+    gate: BTreeMap<ProcessId, BTreeMap<u64, Parked<P>>>,
+    /// Entries currently parked in `gate`.
+    gated: usize,
+    /// Delivery log (message ids in delivery order).
+    log: Vec<MsgId>,
+    duplicates: u64,
+    /// Ping tokens issued so far.
+    next_token: u64,
+    /// High-water mark of messages buffered around churn: gate entries,
+    /// link reassembly buffers, and the largest single pong flush.
+    peak_buffered: usize,
+}
+
+impl<P: Clone> PcEngine<P> {
+    /// Creates the engine with an explicit overlay fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn with_fanout(me: ProcessId, n: usize, fanout: usize) -> Self {
+        assert!(me.as_usize() < n, "member id outside group");
+        let members: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
+        let links = neighbors(me, &members, fanout)
+            .into_iter()
+            .map(|p| (p, Link::new_safe()))
+            .collect();
+        PcEngine {
+            me,
+            fanout,
+            links,
+            watermark: BTreeMap::new(),
+            gate: BTreeMap::new(),
+            gated: 0,
+            log: Vec::new(),
+            duplicates: 0,
+            next_token: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    /// Links whose outbound direction is currently safe (usable for
+    /// application data).
+    pub fn safe_links(&self) -> usize {
+        self.links.values().filter(|l| l.safe).count()
+    }
+
+    /// Links still quarantined behind an outstanding ping.
+    pub fn quarantined_links(&self) -> usize {
+        self.links
+            .values()
+            .filter(|l| l.pending_ping.is_some())
+            .count()
+    }
+
+    /// High-water mark of messages buffered around churn (gate + link
+    /// reassembly + largest pong flush) — the quantity the PC-broadcast
+    /// paper bounds by churn rate rather than group size.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Stream frames retransmitted across all links.
+    pub fn link_retransmit_count(&self) -> u64 {
+        self.links.values().map(Link::retransmit_count).sum()
+    }
+
+    fn note_buffered(&mut self) {
+        let buffered = self.gated + self.links.values().map(Link::buffered).sum::<usize>();
+        self.peak_buffered = self.peak_buffered.max(buffered);
+    }
+
+    /// Delivers `timed` (watermark advance, log append), forwards it on
+    /// every safe link except the one it arrived on, and releases it.
+    fn deliver(
+        &mut self,
+        timed: Timed<PcEnvelope<P>>,
+        from: Option<ProcessId>,
+        forward: bool,
+        batch: &mut Vec<Timed<PcEnvelope<P>>>,
+        out: &mut LinkDelivery<PcEnvelope<P>>,
+    ) {
+        let id = timed.env.id;
+        self.watermark.insert(id.origin(), id.seq());
+        self.log.push(id);
+        if forward {
+            for (&peer, link) in self.links.iter_mut() {
+                if link.safe && Some(peer) != from {
+                    let frame = link.push(LinkBody::Msg(timed.clone()));
+                    out.sends.push((peer, frame));
+                }
+            }
+        }
+        batch.push(timed.clone());
+        out.released.push(timed.env);
+    }
+
+    /// First-reception processing of one data message: deduplicate
+    /// against the watermark, deliver when contiguous (draining the
+    /// gate), park otherwise.
+    fn ingest(
+        &mut self,
+        timed: Timed<PcEnvelope<P>>,
+        from: Option<ProcessId>,
+        forward: bool,
+        batch: &mut Vec<Timed<PcEnvelope<P>>>,
+        out: &mut LinkDelivery<PcEnvelope<P>>,
+    ) -> bool {
+        let id = timed.env.id;
+        let (origin, seq) = (id.origin(), id.seq());
+        let wm = self.watermark.get(&origin).copied().unwrap_or(0);
+        let parked = self.gate.get(&origin).is_some_and(|g| g.contains_key(&seq));
+        if seq <= wm || parked {
+            self.duplicates += 1;
+            out.receipts.push((id, timed.sent_at, false));
+            return false;
+        }
+        out.receipts.push((id, timed.sent_at, true));
+        if seq == wm + 1 {
+            self.deliver(timed, from, forward, batch, out);
+            loop {
+                let next = self.watermark.get(&origin).copied().unwrap_or(0) + 1;
+                let Some(p) = self.gate.get_mut(&origin).and_then(|g| g.remove(&next)) else {
+                    break;
+                };
+                self.gated -= 1;
+                self.deliver(p.timed, p.from, p.forward, batch, out);
+            }
+        } else {
+            self.gate.entry(origin).or_default().insert(
+                seq,
+                Parked {
+                    timed,
+                    from,
+                    forward,
+                },
+            );
+            self.gated += 1;
+        }
+        true
+    }
+
+    /// Handles a pong closing the fresh-link handshake on the link to
+    /// `from`: flushes retained delivered history the responder's
+    /// watermarks do not cover (in delivery order), then marks the link
+    /// safe.
+    fn on_pong(
+        &mut self,
+        from: ProcessId,
+        token: u64,
+        delivered: Vec<(ProcessId, u64)>,
+        history: &[Timed<PcEnvelope<P>>],
+        batch: &[Timed<PcEnvelope<P>>],
+        out: &mut LinkDelivery<PcEnvelope<P>>,
+    ) {
+        let Some(link) = self.links.get_mut(&from) else {
+            return;
+        };
+        if link.pending_ping != Some(token) {
+            return; // stale handshake (link already safe or re-pinged)
+        }
+        link.pending_ping = None;
+        link.safe = true;
+        let peer_wm: BTreeMap<ProcessId, u64> = delivered.into_iter().collect();
+        let mut flushed = 0usize;
+        for timed in history.iter().chain(batch.iter()) {
+            let id = timed.msg_id();
+            if id.seq() > peer_wm.get(&id.origin()).copied().unwrap_or(0) {
+                let frame = link.push(LinkBody::Msg(timed.clone()));
+                out.sends.push((from, frame));
+                flushed += 1;
+            }
+        }
+        self.peak_buffered = self.peak_buffered.max(flushed);
+    }
+}
+
+impl<P: Clone> DeliveryEngine for PcEngine<P> {
+    type Op = P;
+    type Envelope = PcEnvelope<P>;
+
+    const ROUTED: bool = true;
+
+    fn for_member(me: ProcessId, n: usize) -> Self {
+        Self::with_fanout(me, n, DEFAULT_FANOUT)
+    }
+
+    fn send(&mut self, op: P, _after: OccursAfter) -> (PcEnvelope<P>, Vec<PcEnvelope<P>>) {
+        // PC-broadcast infers ordering from delivery history, like the
+        // vector engine: anything delivered locally precedes this send.
+        let seq = self.watermark.get(&self.me).copied().unwrap_or(0) + 1;
+        let env = PcEnvelope {
+            id: MsgId::new(self.me, seq),
+            payload: op,
+        };
+        self.watermark.insert(self.me, seq);
+        self.log.push(env.id);
+        (env.clone(), vec![env])
+    }
+
+    fn on_receive(&mut self, env: PcEnvelope<P>) -> Vec<PcEnvelope<P>> {
+        self.on_replay(Timed {
+            env,
+            sent_at: causal_simnet::SimTime::ZERO,
+        })
+        .released
+    }
+
+    fn on_replay(&mut self, timed: Timed<PcEnvelope<P>>) -> LinkDelivery<PcEnvelope<P>> {
+        let mut out = LinkDelivery::default();
+        let mut batch = Vec::new();
+        // The replayed envelope itself is never forwarded (the
+        // membership layer already multicast it to everyone), but link
+        // messages it drains out of the gate are.
+        self.ingest(timed, None, false, &mut batch, &mut out);
+        self.note_buffered();
+        out
+    }
+
+    fn view<'a>(env: &'a PcEnvelope<P>) -> Delivered<'a, P> {
+        Delivered {
+            id: env.id,
+            deps: None,
+            payload: &env.payload,
+        }
+    }
+
+    fn log(&self) -> &[MsgId] {
+        &self.log
+    }
+
+    fn pending_len(&self) -> usize {
+        self.gated + self.links.values().map(Link::buffered).sum::<usize>()
+    }
+
+    fn duplicates(&self) -> u64 {
+        self.duplicates + self.links.values().map(Link::duplicate_count).sum::<u64>()
+    }
+
+    fn on_members(&mut self, members: &[ProcessId]) -> Vec<LinkSend<PcEnvelope<P>>> {
+        // Links to removed members die with them; links between
+        // surviving members persist even when the re-derived tree no
+        // longer contains them (a safe link only becomes *more*
+        // connected — tearing one down would discard its prefix
+        // property for nothing).
+        self.links.retain(|p, _| members.contains(p));
+        let mut sends = Vec::new();
+        for nbr in neighbors(self.me, members, self.fanout) {
+            let link = self.links.entry(nbr).or_default();
+            if !link.safe && link.pending_ping.is_none() {
+                self.next_token += 1;
+                let token = self.next_token;
+                link.pending_ping = Some(token);
+                let frame = link.push(LinkBody::Ping { token });
+                sends.push((nbr, frame));
+            }
+        }
+        sends
+    }
+
+    fn route_broadcast(&mut self, timed: Timed<PcEnvelope<P>>) -> Vec<LinkSend<PcEnvelope<P>>> {
+        let mut sends = Vec::new();
+        for (&peer, link) in self.links.iter_mut() {
+            if link.safe {
+                let frame = link.push(LinkBody::Msg(timed.clone()));
+                sends.push((peer, frame));
+            }
+        }
+        sends
+    }
+
+    fn on_link_frame(
+        &mut self,
+        from: ProcessId,
+        frame: LinkFrame<Timed<PcEnvelope<P>>>,
+        history: &[Timed<PcEnvelope<P>>],
+    ) -> LinkDelivery<PcEnvelope<P>> {
+        // Lazily materialize link state for a peer whose frames beat our
+        // own view installation; our outbound ping goes out when
+        // `on_members` runs.
+        let ingress = self.links.entry(from).or_default().on_frame(frame);
+        let mut out = LinkDelivery::default();
+        if let Some(cum) = ingress.ack {
+            out.sends.push((
+                from,
+                LinkFrame {
+                    seq: 0,
+                    body: LinkBody::Ack { cum },
+                },
+            ));
+        }
+        let mut batch = Vec::new();
+        for body in ingress.released {
+            match body {
+                LinkBody::Msg(timed) => {
+                    self.ingest(timed, Some(from), true, &mut batch, &mut out);
+                }
+                LinkBody::Ping { token } => {
+                    let delivered: Vec<(ProcessId, u64)> =
+                        self.watermark.iter().map(|(&o, &w)| (o, w)).collect();
+                    let link = self.links.entry(from).or_default();
+                    let frame = link.push(LinkBody::Pong { token, delivered });
+                    out.sends.push((from, frame));
+                }
+                LinkBody::Pong { token, delivered } => {
+                    self.on_pong(from, token, delivered, history, &batch, &mut out);
+                }
+                // Acks are consumed inside `Link::on_frame`.
+                LinkBody::Ack { .. } => {}
+            }
+        }
+        self.note_buffered();
+        out
+    }
+
+    fn link_retransmissions(&mut self) -> Vec<LinkSend<PcEnvelope<P>>> {
+        let mut sends = Vec::new();
+        for (&peer, link) in self.links.iter_mut() {
+            for frame in link.retransmissions() {
+                sends.push((peer, frame));
+            }
+        }
+        sends
+    }
+
+    fn link_has_pending(&self) -> bool {
+        self.links.values().any(Link::has_pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_simnet::SimTime;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn timed<P>(env: PcEnvelope<P>) -> Timed<PcEnvelope<P>> {
+        Timed {
+            env,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    type TestFrame = LinkFrame<Timed<PcEnvelope<&'static str>>>;
+
+    /// Drives a static group of engines to quiescence by repeatedly
+    /// delivering every queued link frame in FIFO order.
+    struct Net {
+        engines: Vec<PcEngine<&'static str>>,
+        queues: BTreeMap<(usize, usize), Vec<TestFrame>>,
+    }
+
+    impl Net {
+        fn new(n: usize) -> Self {
+            Net {
+                engines: (0..n)
+                    .map(|i| PcEngine::for_member(p(i as u32), n))
+                    .collect(),
+                queues: BTreeMap::new(),
+            }
+        }
+
+        fn enqueue(&mut self, from: usize, sends: Vec<LinkSend<PcEnvelope<&'static str>>>) {
+            for (to, frame) in sends {
+                self.queues
+                    .entry((from, to.as_usize()))
+                    .or_default()
+                    .push(frame);
+            }
+        }
+
+        fn broadcast(&mut self, node: usize, payload: &'static str) {
+            let (env, _released) = self.engines[node].send(payload, OccursAfter::none());
+            let sends = self.engines[node].route_broadcast(timed(env));
+            self.enqueue(node, sends);
+        }
+
+        /// First link with frames still queued, if any.
+        fn next_busy_link(&self) -> Option<(usize, usize)> {
+            self.queues
+                .iter()
+                .find(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+        }
+
+        fn run(&mut self) {
+            while let Some((from, to)) = self.next_busy_link() {
+                let frame = self.queues.get_mut(&(from, to)).unwrap().remove(0);
+                let out = self.engines[to].on_link_frame(p(from as u32), frame, &[]);
+                self.enqueue(to, out.sends);
+            }
+            self.queues.clear();
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_member_once() {
+        let mut net = Net::new(7);
+        net.broadcast(3, "hello");
+        net.run();
+        for (i, e) in net.engines.iter().enumerate() {
+            assert_eq!(e.log(), &[MsgId::new(p(3), 1)], "node {i}");
+            assert_eq!(e.pending_len(), 0);
+        }
+    }
+
+    #[test]
+    fn causal_order_preserved_across_forwarding() {
+        // Node 1 broadcasts a, node 0 delivers it then broadcasts b:
+        // a → b must hold in every delivery log.
+        let mut net = Net::new(5);
+        net.broadcast(1, "a");
+        net.run();
+        net.broadcast(0, "b");
+        net.run();
+        let a = MsgId::new(p(1), 1);
+        let b = MsgId::new(p(0), 1);
+        for e in &net.engines {
+            assert_eq!(e.log(), &[a, b]);
+        }
+    }
+
+    #[test]
+    fn interleaved_broadcasts_converge_with_no_duplicates() {
+        let mut net = Net::new(9);
+        for round in 0..3 {
+            for node in [0, 4, 8] {
+                net.broadcast(node, if round == 0 { "x" } else { "y" });
+            }
+            net.run();
+        }
+        let log0: Vec<MsgId> = net.engines[0].log().to_vec();
+        for e in &net.engines[1..] {
+            assert_eq!(e.log().len(), 9);
+            // A tree overlay delivers each message exactly once.
+            assert_eq!(e.duplicates(), 0);
+        }
+        // All members saw all messages (order may differ for concurrent
+        // sends but the sets agree).
+        let mut ids0 = log0.clone();
+        ids0.sort();
+        for e in &net.engines[1..] {
+            let mut ids = e.log().to_vec();
+            ids.sort();
+            assert_eq!(ids, ids0);
+        }
+    }
+
+    #[test]
+    fn per_origin_gate_holds_out_of_order_replay() {
+        // Feed (o=7, seq 2) before (o=7, seq 1) through the replay path.
+        let mut e: PcEngine<&'static str> = PcEngine::for_member(p(0), 3);
+        let m1 = PcEnvelope {
+            id: MsgId::new(p(7), 1),
+            payload: "one",
+        };
+        let m2 = PcEnvelope {
+            id: MsgId::new(p(7), 2),
+            payload: "two",
+        };
+        let out2 = e.on_replay(timed(m2.clone()));
+        assert!(out2.receipts[0].2, "ahead-of-sequence is still fresh");
+        assert!(out2.released.is_empty());
+        assert_eq!(e.pending_len(), 1);
+        let out1 = e.on_replay(timed(m1.clone()));
+        assert!(out1.receipts[0].2);
+        assert_eq!(out1.released, vec![m1, m2]);
+        assert_eq!(e.pending_len(), 0);
+        assert!(e.peak_buffered() >= 1);
+    }
+
+    #[test]
+    fn replay_duplicates_are_absorbed() {
+        let mut e: PcEngine<&'static str> = PcEngine::for_member(p(0), 3);
+        let m = PcEnvelope {
+            id: MsgId::new(p(1), 1),
+            payload: "m",
+        };
+        assert!(e.on_replay(timed(m.clone())).receipts[0].2);
+        let again = e.on_replay(timed(m));
+        assert!(!again.receipts[0].2);
+        assert!(again.released.is_empty());
+        assert_eq!(e.duplicates(), 1);
+    }
+
+    #[test]
+    fn fresh_link_quarantines_until_pong_then_flushes_missing_history() {
+        // Two engines that were never neighbors: 0 has delivered two
+        // messages; a view change now links it to 9.
+        let mut a: PcEngine<&'static str> = PcEngine::for_member(p(0), 3);
+        let mut b: PcEngine<&'static str> = PcEngine::with_fanout(p(9), 10, 4);
+        let (m1, _) = a.send("one", OccursAfter::none());
+        let (m2, _) = a.send("two", OccursAfter::none());
+        let history = [timed(m1.clone()), timed(m2.clone())];
+
+        let members = [p(0), p(9)];
+        let pings_a = a.on_members(&members);
+        let pings_b = b.on_members(&members);
+        assert_eq!(pings_a.len(), 1);
+        assert_eq!(pings_b.len(), 1);
+        assert_eq!(a.quarantined_links(), 1);
+        // While quarantined, broadcasts do not use the fresh link.
+        let (m3, _) = a.send("three", OccursAfter::none());
+        assert!(a.route_broadcast(timed(m3.clone())).is_empty());
+        let history_now = vec![history[0].clone(), history[1].clone(), timed(m3.clone())];
+
+        // b answers a's ping with its (empty) watermarks; b's own ping
+        // precedes the pong on the same FIFO stream.
+        let (to, ping_a) = pings_a.into_iter().next().unwrap();
+        assert_eq!(to, p(9));
+        let reply_b = b.on_link_frame(p(0), ping_a, &[]);
+        let (_, pong_b) = reply_b
+            .sends
+            .into_iter()
+            .find(|(_, f)| matches!(f.body, LinkBody::Pong { .. }))
+            .expect("pong");
+        let (_, ping_b) = pings_b.into_iter().next().unwrap();
+        let reply_a = a.on_link_frame(p(9), ping_b, &history_now);
+        let (_, pong_a) = reply_a
+            .sends
+            .into_iter()
+            .find(|(_, f)| matches!(f.body, LinkBody::Pong { .. }))
+            .expect("pong");
+
+        // On the pong, a flushes everything b lacks, in delivery order.
+        let out = a.on_link_frame(p(9), pong_b, &history_now);
+        let flushed: Vec<MsgId> = out
+            .sends
+            .iter()
+            .filter_map(|(_, f)| match &f.body {
+                LinkBody::Msg(t) => Some(t.msg_id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flushed, vec![m1.id, m2.id, m3.id]);
+        assert_eq!(a.quarantined_links(), 0);
+        assert_eq!(a.safe_links(), 1);
+        assert!(a.peak_buffered() >= 3);
+
+        // b delivers the flush in order (a's pong precedes it on the
+        // stream; b has nothing to flush back).
+        let mut released = Vec::new();
+        released.extend(b.on_link_frame(p(0), pong_a, &[]).released);
+        for (_, f) in out.sends {
+            released.extend(b.on_link_frame(p(0), f, &[]).released);
+        }
+        assert_eq!(
+            released.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![m1.id, m2.id, m3.id]
+        );
+        assert_eq!(b.quarantined_links(), 0);
+    }
+
+    #[test]
+    fn pong_watermarks_suppress_history_the_peer_already_has() {
+        let mut a: PcEngine<&'static str> = PcEngine::for_member(p(0), 2);
+        let (m1, _) = a.send("one", OccursAfter::none());
+        let (m2, _) = a.send("two", OccursAfter::none());
+        let history = vec![timed(m1.clone()), timed(m2.clone())];
+        let members = [p(0), p(5)];
+        let pings = a.on_members(&members);
+        let token = match pings[0].1.body {
+            LinkBody::Ping { token } => token,
+            ref b => panic!("expected ping, got {b:?}"),
+        };
+        // Peer reports it already delivered (0, 1): only m2 flushes.
+        let mut out = LinkDelivery::default();
+        a.on_pong(p(5), token, vec![(p(0), 1)], &history, &[], &mut out);
+        let flushed: Vec<MsgId> = out
+            .sends
+            .iter()
+            .filter_map(|(_, f)| match &f.body {
+                LinkBody::Msg(t) => Some(t.msg_id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flushed, vec![m2.id]);
+    }
+
+    #[test]
+    fn removed_members_lose_their_links() {
+        let mut e: PcEngine<&'static str> = PcEngine::for_member(p(0), 3);
+        assert_eq!(e.safe_links(), 2);
+        let sends = e.on_members(&[p(0), p(2)]);
+        assert!(sends.is_empty(), "surviving link stays safe: {sends:?}");
+        assert_eq!(e.safe_links(), 1);
+    }
+}

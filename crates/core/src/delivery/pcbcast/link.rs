@@ -1,0 +1,294 @@
+//! Synthesized FIFO links: the ordering substrate PC-broadcast stands on.
+//!
+//! The algorithm's one transport assumption is that each directed link
+//! delivers frames reliably in send order. TCP gives that for free;
+//! the simulator's non-constant latency models reorder datagrams and its
+//! fault plans drop them, so this layer synthesizes the property: every
+//! stream frame carries a per-link sequence number, receivers hold
+//! out-of-order arrivals in a reassembly buffer and release them in
+//! sequence, and senders retain unacknowledged frames for timer-driven
+//! retransmission against cumulative acknowledgements.
+//!
+//! Three frame kinds ride the sequenced stream — [`LinkBody::Msg`]
+//! (application data), [`LinkBody::Ping`] and [`LinkBody::Pong`] (the
+//! fresh-link handshake) — so the handshake is ordered and retransmitted
+//! exactly like data, which is what makes the quarantine protocol's
+//! "first frame on a fresh link is the ping" invariant meaningful.
+//! [`LinkBody::Ack`] is unsequenced bookkeeping (`seq` 0): it is
+//! regenerated on every reception, so losing one costs a retransmission,
+//! never correctness.
+
+use causal_clocks::ProcessId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One frame on a directed overlay link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFrame<T> {
+    /// Position in the link's FIFO stream (1-based); 0 for unsequenced
+    /// control ([`LinkBody::Ack`]).
+    pub seq: u64,
+    /// The payload.
+    pub body: LinkBody<T>,
+}
+
+/// Payload of a link frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkBody<T> {
+    /// An application envelope being disseminated over the overlay.
+    Msg(T),
+    /// First frame on a freshly-opened link: asks the peer to report
+    /// what it has delivered so the opener can fill the gap.
+    Ping {
+        /// Matches the reply to the outstanding handshake.
+        token: u64,
+    },
+    /// Handshake reply: the responder's per-origin delivered watermarks
+    /// (highest contiguously delivered sequence per origin; origins at
+    /// watermark 0 omitted). Rides the reverse stream so it is reliable.
+    Pong {
+        /// Token copied from the ping.
+        token: u64,
+        /// Sorted `(origin, watermark)` pairs.
+        delivered: Vec<(ProcessId, u64)>,
+    },
+    /// Cumulative acknowledgement of the peer's stream up to `cum`.
+    Ack {
+        /// Highest in-order sequence received on the reverse direction.
+        cum: u64,
+    },
+}
+
+/// Both directions of one overlay link, from the owning member's side.
+///
+/// Outbound: assigns stream sequence numbers, retains frames until
+/// cumulatively acknowledged, and replays the unacknowledged tail on
+/// demand. Inbound: reassembles the peer's stream into FIFO order.
+#[derive(Debug, Clone)]
+pub struct Link<T> {
+    /// Outbound data permission: `false` while the fresh-link handshake
+    /// is outstanding (the quarantine — see the engine module docs).
+    pub safe: bool,
+    /// Token of the outstanding ping, if the handshake is in flight.
+    pub pending_ping: Option<u64>,
+    /// Next outbound sequence number to assign.
+    next_out: u64,
+    /// Sent but not yet cumulatively acknowledged, in sequence order.
+    unacked: VecDeque<(u64, LinkBody<T>)>,
+    /// Next inbound sequence number to release.
+    next_in: u64,
+    /// Out-of-order inbound frames awaiting their predecessors.
+    reassembly: BTreeMap<u64, LinkBody<T>>,
+    /// Stream frames retransmitted so far.
+    retransmits: u64,
+    /// Duplicate stream frames absorbed so far.
+    duplicates: u64,
+}
+
+impl<T> Default for Link<T> {
+    fn default() -> Self {
+        Link {
+            safe: false,
+            pending_ping: None,
+            next_out: 1,
+            unacked: VecDeque::new(),
+            next_in: 1,
+            reassembly: BTreeMap::new(),
+            retransmits: 0,
+            duplicates: 0,
+        }
+    }
+}
+
+/// Result of feeding one inbound frame to [`Link::on_frame`].
+#[derive(Debug, Default)]
+pub struct LinkIngress<T> {
+    /// Stream bodies released in FIFO order.
+    pub released: Vec<LinkBody<T>>,
+    /// Cumulative acknowledgement to send back, if the frame was a
+    /// stream frame (duplicates are re-acknowledged so the sender stops
+    /// retransmitting).
+    pub ack: Option<u64>,
+}
+
+impl<T: Clone> Link<T> {
+    /// A link whose outbound direction is immediately usable — the
+    /// static-group case, where every link existed before the first
+    /// broadcast and there is no history to reconcile.
+    pub fn new_safe() -> Self {
+        Link {
+            safe: true,
+            ..Link::default()
+        }
+    }
+
+    /// Appends `body` to the outbound stream: assigns the next sequence
+    /// number and retains a copy until it is acknowledged.
+    pub fn push(&mut self, body: LinkBody<T>) -> LinkFrame<T> {
+        let seq = self.next_out;
+        self.next_out += 1;
+        self.unacked.push_back((seq, body.clone()));
+        LinkFrame { seq, body }
+    }
+
+    /// Processes one inbound frame: acknowledgements trim the outbound
+    /// retention window; stream frames are released in FIFO order,
+    /// buffering ahead-of-sequence arrivals and absorbing duplicates.
+    pub fn on_frame(&mut self, frame: LinkFrame<T>) -> LinkIngress<T> {
+        let mut out = LinkIngress {
+            released: Vec::new(),
+            ack: None,
+        };
+        if let LinkBody::Ack { cum } = frame.body {
+            self.on_ack(cum);
+            return out;
+        }
+        if frame.seq < self.next_in {
+            // Already released: a retransmission raced the ack.
+            self.duplicates += 1;
+        } else if frame.seq == self.next_in {
+            self.next_in += 1;
+            out.released.push(frame.body);
+            while let Some(body) = self.reassembly.remove(&self.next_in) {
+                self.next_in += 1;
+                out.released.push(body);
+            }
+        } else if self.reassembly.insert(frame.seq, frame.body).is_some() {
+            self.duplicates += 1;
+        }
+        out.ack = Some(self.next_in - 1);
+        out
+    }
+
+    /// Trims frames the peer has acknowledged receiving.
+    pub fn on_ack(&mut self, cum: u64) {
+        while self.unacked.front().is_some_and(|(s, _)| *s <= cum) {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// Clones the unacknowledged outbound tail for retransmission.
+    pub fn retransmissions(&mut self) -> Vec<LinkFrame<T>> {
+        self.retransmits += self.unacked.len() as u64;
+        self.unacked
+            .iter()
+            .map(|(seq, body)| LinkFrame {
+                seq: *seq,
+                body: body.clone(),
+            })
+            .collect()
+    }
+
+    /// Whether any outbound frame still awaits acknowledgement.
+    pub fn has_pending(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// Inbound frames parked in the reassembly buffer.
+    pub fn buffered(&self) -> usize {
+        self.reassembly.len()
+    }
+
+    /// Stream frames retransmitted so far.
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Duplicate stream frames absorbed so far.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(link: &mut Link<&'static str>, s: &'static str) -> LinkFrame<&'static str> {
+        link.push(LinkBody::Msg(s))
+    }
+
+    #[test]
+    fn in_order_stream_releases_immediately() {
+        let mut tx = Link::new_safe();
+        let mut rx: Link<&str> = Link::new_safe();
+        for s in ["a", "b", "c"] {
+            let out = rx.on_frame(msg(&mut tx, s));
+            assert_eq!(out.released, vec![LinkBody::Msg(s)]);
+        }
+        assert_eq!(rx.buffered(), 0);
+    }
+
+    #[test]
+    fn reordered_frames_release_in_sequence() {
+        let mut tx = Link::new_safe();
+        let mut rx: Link<&str> = Link::new_safe();
+        let f1 = msg(&mut tx, "a");
+        let f2 = msg(&mut tx, "b");
+        let f3 = msg(&mut tx, "c");
+        assert!(rx.on_frame(f3).released.is_empty());
+        assert!(rx.on_frame(f2).released.is_empty());
+        assert_eq!(rx.buffered(), 2);
+        let out = rx.on_frame(f1);
+        assert_eq!(
+            out.released,
+            vec![LinkBody::Msg("a"), LinkBody::Msg("b"), LinkBody::Msg("c")]
+        );
+        assert_eq!(out.ack, Some(3));
+        assert_eq!(rx.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_absorbed_and_reacked() {
+        let mut tx = Link::new_safe();
+        let mut rx: Link<&str> = Link::new_safe();
+        let f1 = msg(&mut tx, "a");
+        assert_eq!(rx.on_frame(f1.clone()).released.len(), 1);
+        let again = rx.on_frame(f1);
+        assert!(again.released.is_empty());
+        assert_eq!(again.ack, Some(1), "duplicate still re-acknowledged");
+        assert_eq!(rx.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn acks_trim_retention_and_retransmission_replays_the_tail() {
+        let mut tx = Link::new_safe();
+        let f1 = msg(&mut tx, "a");
+        let _f2 = msg(&mut tx, "b");
+        assert!(tx.has_pending());
+        tx.on_ack(1);
+        let rtx = tx.retransmissions();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 2);
+        assert_ne!(rtx[0].seq, f1.seq);
+        tx.on_ack(2);
+        assert!(!tx.has_pending());
+        assert!(tx.retransmissions().is_empty());
+    }
+
+    #[test]
+    fn lost_frame_recovered_by_retransmission() {
+        let mut tx = Link::new_safe();
+        let mut rx: Link<&str> = Link::new_safe();
+        let _lost = msg(&mut tx, "a");
+        let f2 = msg(&mut tx, "b");
+        assert!(rx.on_frame(f2).released.is_empty());
+        // The retransmitted tail includes the lost frame; duplicates of
+        // the buffered one are absorbed.
+        let mut released = Vec::new();
+        for f in tx.retransmissions() {
+            released.extend(rx.on_frame(f).released);
+        }
+        assert_eq!(released, vec![LinkBody::Msg("a"), LinkBody::Msg("b")]);
+    }
+
+    #[test]
+    fn ack_frames_are_unsequenced() {
+        let mut rx: Link<&str> = Link::new_safe();
+        let out = rx.on_frame(LinkFrame {
+            seq: 0,
+            body: LinkBody::Ack { cum: 0 },
+        });
+        assert!(out.released.is_empty());
+        assert!(out.ack.is_none());
+    }
+}

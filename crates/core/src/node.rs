@@ -30,8 +30,8 @@
 //! instantiation lives in [`vsync`](crate::vsync).
 
 pub use crate::stack::{
-    App, BcastWire, CausalNode, CbcastNode, Emitter, NodeStats, ProtocolStack, StackWire, Timed,
-    WireMsg, DEFAULT_RETRANSMIT,
+    App, BcastWire, CausalNode, CbcastNode, Emitter, NodeStats, PcNode, PcWire, ProtocolStack,
+    StackWire, Timed, WireMsg, DEFAULT_RETRANSMIT,
 };
 
 #[cfg(test)]

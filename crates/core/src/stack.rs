@@ -38,7 +38,10 @@
 //! `causal-net` TCP transport — including the membership machinery, which
 //! is just more messages and timers.
 
-use crate::delivery::{CbcastEngine, Delivered, DeliveryEngine, GraphDelivery, VtEnvelope};
+use crate::delivery::pcbcast::LinkFrame;
+use crate::delivery::{
+    CbcastEngine, Delivered, DeliveryEngine, GraphDelivery, PcEngine, VtEnvelope,
+};
 use crate::osend::{GraphEnvelope, OccursAfter};
 use crate::rbcast::{HasMsgId, RbMsg, ReliableBroadcast};
 use crate::stability::StabilityTracker;
@@ -80,6 +83,11 @@ pub enum StackWire<E> {
         /// The node requesting admission.
         joiner: ProcessId,
     },
+    /// An overlay link frame of a routed engine
+    /// ([`DeliveryEngine::ROUTED`]): PC-broadcast data, the fresh-link
+    /// ping/pong handshake, or a cumulative link acknowledgement.
+    /// Non-routed stacks never send or receive it.
+    Link(LinkFrame<Timed<E>>),
 }
 
 /// An envelope tagged with its send time, so receivers can measure
@@ -318,7 +326,16 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
             app,
             engine: D::for_member(me, n),
             detector: StablePointDetector::new(),
-            rb: ReliableBroadcast::new(me, n),
+            // Routed engines disseminate over their own overlay; in a
+            // static group the full-mesh reliability layer would only
+            // retain O(n) peer state per node for traffic that never
+            // flows. Membership re-enables it (see `with_membership`) for
+            // the flush/replay side-channel.
+            rb: if D::ROUTED {
+                ReliableBroadcast::with_peers(me, [])
+            } else {
+                ReliableBroadcast::new(me, n)
+            },
             retransmit_every: DEFAULT_RETRANSMIT,
             rtx_armed: false,
             sent_times: HashMap::new(),
@@ -344,6 +361,10 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
     /// Panics if `me` is outside the group.
     pub fn with_membership(me: ProcessId, n: usize, app: A, config: VsyncConfig) -> Self {
         let mut node = Self::new(me, n, app);
+        // Membership's flush re-broadcast and joiner replay run over the
+        // reliability layer even under routed engines, so those stacks
+        // need the full peer set after all.
+        node.rb = ReliableBroadcast::new(me, n);
         node.retransmit_every = config.retransmit_every;
         node.membership = Some(MembershipState::new(me, GroupView::initial(n), config));
         node
@@ -572,10 +593,19 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
             env,
             sent_at: ctx.now(),
         };
-        // One multicast per broadcast: the copies are identical, so a
-        // serializing transport encodes the envelope once for the group.
-        let (targets, msg) = self.rb.broadcast_grouped(timed);
-        ctx.multicast(targets, StackWire::Rb(msg));
+        if D::ROUTED {
+            // Routed engines disseminate over their overlay links (the
+            // link layer provides per-link reliability + FIFO).
+            for (to, frame) in self.engine.route_broadcast(timed) {
+                ctx.send(to, StackWire::Link(frame));
+            }
+        } else {
+            // One multicast per broadcast: the copies are identical, so a
+            // serializing transport encodes the envelope once for the
+            // group.
+            let (targets, msg) = self.rb.broadcast_grouped(timed);
+            ctx.multicast(targets, StackWire::Rb(msg));
+        }
         self.arm_retransmit(ctx);
         self.sent_times.insert(id, ctx.now());
         self.last_sent = Some(id);
@@ -586,7 +616,7 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
     }
 
     fn arm_retransmit(&mut self, ctx: &mut Context<'_, StackWire<D::Envelope>>) {
-        if !self.rtx_armed && self.rb.has_pending() {
+        if !self.rtx_armed && (self.rb.has_pending() || self.engine.link_has_pending()) {
             ctx.set_timer(self.retransmit_every, TIMER_RETRANSMIT);
             self.rtx_armed = true;
         }
@@ -812,6 +842,24 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> ProtocolStack<D, A> {
             }
             mem.installed_views.push(view);
         }
+        // Routed engines reconcile their overlay with the new member set:
+        // removed members' links drop, fresh links open quarantined and
+        // start their ping/pong handshake here.
+        {
+            let members = self
+                .membership
+                .as_ref()
+                .expect("membership enabled")
+                .installed_views
+                .last()
+                .expect("a view was just installed")
+                .members()
+                .to_vec();
+            for (to, frame) in self.engine.on_members(&members) {
+                ctx.send(to, StackWire::Link(frame));
+            }
+            self.arm_retransmit(ctx);
+        }
         // The flush barrier lifts: drain parked sends.
         loop {
             let next = self
@@ -926,22 +974,34 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> Actor for ProtocolStack<D, A> {
             StackWire::Rb(RbMsg::Data(timed)) => {
                 let rid = timed.msg_id();
                 let (fresh, acks) = self.rb.on_data(from, timed);
-                if let Some(t) = &mut self.tracer {
-                    t.record(TraceEvent::Receive {
-                        id: rid,
-                        fresh: fresh.is_some(),
-                    });
-                }
                 for (to, ack) in acks {
                     ctx.send(to, StackWire::Rb(ack));
                 }
+                // The engine may have already seen the message through its
+                // own overlay links (routed engines overlap with the
+                // membership flush/replay side-channel), so freshness is
+                // the *engine's* verdict, not the reliability layer's.
+                let mut engine_fresh = false;
+                let mut released = Vec::new();
                 if let Some(timed) = fresh {
                     self.sent_times
                         .entry(timed.msg_id())
                         .or_insert(timed.sent_at);
-                    let released = self.engine.on_receive(timed.env);
-                    self.process_released(ctx, released);
+                    let out = self.engine.on_replay(timed);
+                    engine_fresh = out.receipts.first().is_some_and(|r| r.2);
+                    for (to, frame) in out.sends {
+                        ctx.send(to, StackWire::Link(frame));
+                    }
+                    self.arm_retransmit(ctx);
+                    released = out.released;
                 }
+                if let Some(t) = &mut self.tracer {
+                    t.record(TraceEvent::Receive {
+                        id: rid,
+                        fresh: engine_fresh,
+                    });
+                }
+                self.process_released(ctx, released);
             }
             StackWire::Rb(RbMsg::Ack(id)) => self.rb.on_ack(from, id),
             StackWire::StabilityReport(report) => {
@@ -1000,6 +1060,26 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> Actor for ProtocolStack<D, A> {
                     // Busy with another change: the joiner's retry covers it.
                 }
             }
+            StackWire::Link(frame) => {
+                let history: &[Timed<D::Envelope>] = match &self.membership {
+                    Some(mem) => mem.store.as_slice(),
+                    None => &[],
+                };
+                let out = self.engine.on_link_frame(from, frame, history);
+                for (id, sent_at, fresh) in out.receipts {
+                    if fresh {
+                        self.sent_times.entry(id).or_insert(sent_at);
+                    }
+                    if let Some(t) = &mut self.tracer {
+                        t.record(TraceEvent::Receive { id, fresh });
+                    }
+                }
+                for (to, f) in out.sends {
+                    ctx.send(to, StackWire::Link(f));
+                }
+                self.arm_retransmit(ctx);
+                self.process_released(ctx, out.released);
+            }
         }
     }
 
@@ -1014,8 +1094,11 @@ impl<D: DeliveryEngine, A: App<Op = D::Op>> Actor for ProtocolStack<D, A> {
                     for (targets, msg) in self.rb.retransmissions_grouped() {
                         ctx.multicast(targets, StackWire::Rb(msg));
                     }
-                    self.arm_retransmit(ctx);
                 }
+                for (to, frame) in self.engine.link_retransmissions() {
+                    ctx.send(to, StackWire::Link(frame));
+                }
+                self.arm_retransmit(ctx);
             }
             TIMER_HEARTBEAT => {
                 let Some(mem) = self.membership.as_ref() else {
@@ -1091,3 +1174,10 @@ pub type WireMsg<A> = StackWire<GraphEnvelope<<A as App>::Op>>;
 
 /// The wire message type of a [`CbcastNode`] group.
 pub type BcastWire<A> = StackWire<VtEnvelope<<A as App>::Op>>;
+
+/// The full stack over PC-broadcast delivery — constant-overhead causal
+/// order from FIFO dissemination over a spanning overlay.
+pub type PcNode<A> = ProtocolStack<PcEngine<<A as App>::Op>, A>;
+
+/// The wire message type of a [`PcNode`] group.
+pub type PcWire<A> = StackWire<crate::delivery::PcEnvelope<<A as App>::Op>>;

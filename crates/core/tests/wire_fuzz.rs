@@ -7,6 +7,8 @@
 //! encodings must all produce `Ok` or `Err`, never unwind.
 
 use causal_clocks::{MsgId, ProcessId, VectorClock};
+use causal_core::delivery::pcbcast::{LinkBody, LinkFrame};
+use causal_core::delivery::PcEnvelope;
 use causal_core::osend::GraphEnvelope;
 use causal_core::rbcast::RbMsg;
 use causal_core::stack::{StackWire, Timed};
@@ -28,6 +30,7 @@ fn decode_all(bytes: &[u8]) -> usize {
     ok += usize::from(<GraphEnvelope<String>>::from_wire(bytes).is_ok());
     ok += usize::from(<RbMsg<GraphEnvelope<u64>>>::from_wire(bytes).is_ok());
     ok += usize::from(<StackWire<GraphEnvelope<u64>>>::from_wire(bytes).is_ok());
+    ok += usize::from(<StackWire<PcEnvelope<u64>>>::from_wire(bytes).is_ok());
     ok += usize::from(SimTime::from_wire(bytes).is_ok());
     ok
 }
@@ -96,6 +99,45 @@ proptest! {
             let mut mutated = full.clone();
             mutated[pos] ^= flip | 1; // always changes at least one bit
             if let Ok(decoded) = <StackWire<GraphEnvelope<u64>>>::from_wire(&mutated) {
+                let _ = decoded.to_wire();
+            }
+        }
+    }
+
+    /// PC link frames face the same adversary: truncations and one-byte
+    /// corruptions of a valid `StackWire::Link` encoding never panic,
+    /// and every proper prefix is rejected.
+    #[test]
+    fn pc_link_frames_survive_truncation_and_corruption(
+        origin in 0u32..8,
+        seq in 1u64..1024,
+        stream_seq in 1u64..1024,
+        payload in any::<u64>(),
+        flip in any::<u8>(),
+    ) {
+        let msg: StackWire<PcEnvelope<u64>> = StackWire::Link(LinkFrame {
+            seq: stream_seq,
+            body: LinkBody::Msg(Timed {
+                env: PcEnvelope {
+                    id: MsgId::new(ProcessId::new(origin), seq),
+                    payload,
+                },
+                sent_at: SimTime::ZERO,
+            }),
+        });
+        let full = msg.to_wire();
+        prop_assert!(<StackWire<PcEnvelope<u64>>>::from_wire(&full).is_ok());
+        for cut in 0..full.len() {
+            prop_assert!(
+                <StackWire<PcEnvelope<u64>>>::from_wire(&full[..cut]).is_err(),
+                "truncation to {cut} bytes decoded successfully"
+            );
+            let _ = decode_all(&full[..cut]);
+        }
+        for pos in 0..full.len() {
+            let mut mutated = full.clone();
+            mutated[pos] ^= flip | 1;
+            if let Ok(decoded) = <StackWire<PcEnvelope<u64>>>::from_wire(&mutated) {
                 let _ = decoded.to_wire();
             }
         }

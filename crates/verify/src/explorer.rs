@@ -642,6 +642,14 @@ where
     };
     let classify = |msg: &StackWire<D::Envelope>| match msg {
         StackWire::Rb(RbMsg::Data(_)) => MsgClass::Data,
+        // Routed-engine link frames: sequenced stream frames (data,
+        // handshake pings/pongs) affect delivery state and must be
+        // explored; cumulative acks are write-only bookkeeping like Rb
+        // acks and commute.
+        StackWire::Link(frame) => match frame.body {
+            causal_core::delivery::pcbcast::LinkBody::Ack { .. } => MsgClass::Control,
+            _ => MsgClass::Data,
+        },
         _ => MsgClass::Control,
     };
     // Under this model the stack's control traffic is acknowledgement

@@ -65,6 +65,11 @@ pub struct OracleReport {
     pub dep_logs: usize,
     /// Members whose logs carried vector timestamps.
     pub vt_logs: usize,
+    /// Members whose logs were checked against the *re-derived*
+    /// potential-causality relation (metadata-free engines such as
+    /// PC-broadcast, whose envelopes carry neither dependency sets nor
+    /// vector timestamps).
+    pub hb_logs: usize,
     /// Stable points compared across members (pairwise-comparable ones).
     pub stable_points: usize,
     /// Snapshot byte-comparisons performed.
@@ -92,6 +97,19 @@ pub enum OracleViolation {
         member: usize,
         /// The stuck message.
         id: MsgId,
+    },
+    /// A member delivered a message before one of its potential-causality
+    /// predecessors. Only raised for metadata-free logs, where the oracle
+    /// re-derives happened-before from the raw send/delivery order: the
+    /// predecessors of `id` are everything its origin had delivered when
+    /// it sent `id`, closed transitively.
+    PotentialCausalityInversion {
+        /// Index into the trace's member list.
+        member: usize,
+        /// The message delivered too early.
+        id: MsgId,
+        /// The predecessor that had not yet been delivered there.
+        missing: MsgId,
     },
     /// Two members disagree on which message closed a stable point.
     StableSequenceMismatch {
@@ -132,6 +150,15 @@ impl fmt::Display for OracleViolation {
             OracleViolation::UndeliveredMessage { member, id } => {
                 write!(f, "member {member} received {id} but never delivered it")
             }
+            OracleViolation::PotentialCausalityInversion {
+                member,
+                id,
+                missing,
+            } => write!(
+                f,
+                "member {member} delivered {id} before its potential-causality \
+                 predecessor {missing}"
+            ),
             OracleViolation::StableSequenceMismatch { a, b, index } => {
                 write!(f, "members {a} and {b} disagree on stable point {index}")
             }
@@ -260,6 +287,19 @@ pub fn check_trace(trace: &Trace, cfg: &OracleConfig) -> Result<OracleReport, Or
         vt_logs_respect_causality(&vt_logs)?;
     }
 
+    // Metadata-free logs (PC-broadcast: no dependency sets, no vector
+    // timestamps) still promise potential-causality delivery. Re-derive
+    // happened-before from the raw send/delivery order and check every
+    // log against it. Engines that *carry* ordering metadata are exempt:
+    // their own checks above apply, and the graph engine legitimately
+    // reorders potentially- but not semantically-related messages.
+    if views
+        .iter()
+        .all(|v| v.dep_log.is_empty() && v.vt_log.is_empty())
+    {
+        check_potential_causality(trace, &views, &mut report)?;
+    }
+
     // Quiescence: same delivered set everywhere, nothing stuck.
     if cfg.expect_quiescent {
         let live: Vec<(usize, &MemberView)> = views
@@ -346,6 +386,109 @@ pub fn check_trace(trace: &Trace, cfg: &OracleConfig) -> Result<OracleReport, Or
     }
 
     Ok(report)
+}
+
+/// Checks every metadata-free delivery log against the potential-causality
+/// relation re-derived from the trace itself: a message's predecessors are
+/// everything its origin had delivered when it sent it (the `Send` event's
+/// position in the origin's event order), closed transitively. Every
+/// member must deliver all of a message's predecessors before it.
+///
+/// This is the oracle's teeth for constant-metadata engines: the wire
+/// carries no ordering information to validate, so the promised order is
+/// reconstructed from what actually happened.
+fn check_potential_causality(
+    trace: &Trace,
+    views: &[MemberView],
+    report: &mut OracleReport,
+) -> Result<(), OracleViolation> {
+    // Dense-index every message seen anywhere, so predecessor sets can be
+    // small bitsets.
+    let mut index: std::collections::HashMap<MsgId, usize> = std::collections::HashMap::new();
+    let mut ids: Vec<MsgId> = Vec::new();
+    for m in trace.members() {
+        for e in m.events() {
+            if let TraceEvent::Send { id } | TraceEvent::Deliver { id, .. } = e {
+                index.entry(*id).or_insert_with(|| {
+                    ids.push(*id);
+                    ids.len() - 1
+                });
+            }
+        }
+    }
+    let n = ids.len();
+    let words = n.div_ceil(64);
+    let set = |bits: &mut [u64], i: usize| bits[i / 64] |= 1 << (i % 64);
+    let get = |bits: &[u64], i: usize| bits[i / 64] & (1 << (i % 64)) != 0;
+
+    // Direct predecessors: the origin's delivered-so-far set at each send.
+    let mut preds: Vec<Option<Vec<u64>>> = vec![None; n];
+    for m in trace.members() {
+        let mut delivered = vec![0u64; words];
+        for e in m.events() {
+            match e {
+                TraceEvent::Send { id } => {
+                    preds[index[id]] = Some(delivered.clone());
+                }
+                TraceEvent::Deliver { id, .. } => set(&mut delivered, index[id]),
+                _ => {}
+            }
+        }
+    }
+
+    // Transitive closure by fixpoint (traces are small; the explorer and
+    // test harnesses cap runs at a few hundred messages).
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let Some(direct) = preds[i].clone() else {
+                continue;
+            };
+            let mut merged = direct.clone();
+            for (j, pj) in preds.iter().enumerate() {
+                if get(&direct, j) {
+                    if let Some(pj) = pj {
+                        for (w, pw) in merged.iter_mut().zip(pj) {
+                            *w |= pw;
+                        }
+                    }
+                }
+            }
+            if merged != direct {
+                preds[i] = Some(merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Every member's log must deliver each message after its whole
+    // predecessor set (prefix-safe: crashed members checked too).
+    for (mi, v) in views.iter().enumerate() {
+        if v.delivered.is_empty() {
+            continue;
+        }
+        report.hb_logs += 1;
+        let mut delivered = vec![0u64; words];
+        for id in &v.delivered {
+            let i = index[id];
+            if let Some(p) = &preds[i] {
+                for (j, &missing) in ids.iter().enumerate() {
+                    if get(p, j) && !get(&delivered, j) {
+                        return Err(OracleViolation::PotentialCausalityInversion {
+                            member: mi,
+                            id: *id,
+                            missing,
+                        });
+                    }
+                }
+            }
+            set(&mut delivered, i);
+        }
+    }
+    Ok(())
 }
 
 /// A commutative window whose permutation changed the state (§5.1).
@@ -705,6 +848,120 @@ mod tests {
             err,
             OracleViolation::Core(Violation::CausalInversion { .. })
         ));
+    }
+
+    fn bare(id: MsgId) -> TraceEvent {
+        TraceEvent::Deliver {
+            id,
+            deps: None,
+            vt: None,
+            sync_candidate: false,
+        }
+    }
+
+    #[test]
+    fn metadata_free_logs_get_the_rederived_causality_check() {
+        // p0 sends m1; p1 delivers m1 then sends m2 (so m1 -> m2); both
+        // members deliver in causal order.
+        let mut a = MemberTrace::new(ProcessId::new(0));
+        a.record(TraceEvent::Send { id: id(0, 1) });
+        a.record(bare(id(0, 1)));
+        a.record(bare(id(1, 1)));
+        let mut b = MemberTrace::new(ProcessId::new(1));
+        b.record(bare(id(0, 1)));
+        b.record(TraceEvent::Send { id: id(1, 1) });
+        b.record(bare(id(1, 1)));
+        let t = Trace::new(vec![a, b]);
+        let report = check_trace(&t, &OracleConfig::default()).unwrap();
+        assert_eq!(report.hb_logs, 2, "both logs checked");
+        assert_eq!(report.dep_logs, 0);
+        assert_eq!(report.vt_logs, 0);
+    }
+
+    #[test]
+    fn potential_causality_inversion_caught_on_metadata_free_logs() {
+        // Same dependency m1 -> m2, but a third member delivers m2 first.
+        let mut a = MemberTrace::new(ProcessId::new(0));
+        a.record(TraceEvent::Send { id: id(0, 1) });
+        a.record(bare(id(0, 1)));
+        a.record(bare(id(1, 1)));
+        let mut b = MemberTrace::new(ProcessId::new(1));
+        b.record(bare(id(0, 1)));
+        b.record(TraceEvent::Send { id: id(1, 1) });
+        b.record(bare(id(1, 1)));
+        let mut c = MemberTrace::new(ProcessId::new(2));
+        c.record(bare(id(1, 1)));
+        c.record(bare(id(0, 1)));
+        let t = Trace::new(vec![a, b, c]);
+        let err = check_trace(&t, &OracleConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            OracleViolation::PotentialCausalityInversion {
+                member: 2,
+                id: id(1, 1),
+                missing: id(0, 1),
+            }
+        );
+    }
+
+    #[test]
+    fn transitive_predecessors_are_enforced() {
+        // m1 -> m2 -> m3 across three senders; a log delivering m3 before
+        // m1 violates the closure even though m1 is not a *direct*
+        // predecessor recorded at m3's origin... it is via m2.
+        let mut a = MemberTrace::new(ProcessId::new(0));
+        a.record(TraceEvent::Send { id: id(0, 1) });
+        a.record(bare(id(0, 1)));
+        let mut b = MemberTrace::new(ProcessId::new(1));
+        b.record(bare(id(0, 1)));
+        b.record(TraceEvent::Send { id: id(1, 1) });
+        b.record(bare(id(1, 1)));
+        let mut c = MemberTrace::new(ProcessId::new(2));
+        c.record(bare(id(0, 1)));
+        c.record(bare(id(1, 1)));
+        c.record(TraceEvent::Send { id: id(2, 1) });
+        c.record(bare(id(2, 1)));
+        // Member 3's log: m3 before m1 — but after m2?! Impossible under
+        // causal delivery; the closure must flag m1 as missing.
+        let mut d = MemberTrace::new(ProcessId::new(3));
+        d.record(bare(id(1, 1)));
+        d.record(bare(id(2, 1)));
+        d.record(bare(id(0, 1)));
+        let t = Trace::new(vec![a, b, c, d]);
+        let err = check_trace(
+            &t,
+            &OracleConfig {
+                expect_quiescent: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            OracleViolation::PotentialCausalityInversion {
+                member: 3,
+                missing,
+                ..
+            } if missing == id(0, 1)
+        ));
+    }
+
+    #[test]
+    fn graph_logs_are_exempt_from_potential_causality() {
+        // The graph engine may deliver potentially- but not semantically-
+        // related messages in either order: with explicit deps recorded,
+        // the re-derived check must stay out of the way.
+        let mut a = MemberTrace::new(ProcessId::new(0));
+        a.record(TraceEvent::Send { id: id(0, 1) });
+        a.record(deliver(id(0, 1), vec![], false));
+        // a delivered m1 before sending m2, but declared no dependency.
+        a.record(TraceEvent::Send { id: id(0, 2) });
+        a.record(deliver(id(0, 2), vec![], false));
+        let mut b = MemberTrace::new(ProcessId::new(1));
+        b.record(deliver(id(0, 2), vec![], false));
+        b.record(deliver(id(0, 1), vec![], false));
+        let t = Trace::new(vec![a, b]);
+        let report = check_trace(&t, &OracleConfig::default()).unwrap();
+        assert_eq!(report.hb_logs, 0, "check must not engage");
     }
 
     /// §5.1 mixed workload: Add commutes, Sync does not.

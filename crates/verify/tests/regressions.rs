@@ -28,6 +28,7 @@ fn kind(v: &OracleViolation) -> &'static str {
         OracleViolation::Core(Violation::CausalInversion { .. }) => "causal-inversion",
         OracleViolation::DuplicateDelivery { .. } => "duplicate-delivery",
         OracleViolation::UndeliveredMessage { .. } => "undelivered-message",
+        OracleViolation::PotentialCausalityInversion { .. } => "potential-causality-inversion",
         OracleViolation::StableSequenceMismatch { .. } => "stable-sequence-mismatch",
         OracleViolation::SnapshotMismatch { .. } => "snapshot-mismatch",
         OracleViolation::ViewMismatch { .. } => "view-mismatch",

@@ -44,6 +44,10 @@ pub struct LayerRule {
 ///   invariant is sharper — nothing outside the stack's vsync section may
 ///   fabricate a view-change message, or the "no extra agreement
 ///   protocol" guarantee (§4) is forfeit.
+/// - **`StackWire` overlay plane** (`Link`): PC-broadcast link frames
+///   carry per-link stream state (sequence numbers, acks, ping/pong
+///   watermarks) owned by the engine's `Link` objects; a frame forged
+///   outside the stack/codec would desynchronize a stream for good.
 /// - **`Command`**: only the actor `Context` constructs effects; only
 ///   the runtimes (simnet's event loop, the shared threaded runner) and
 ///   the schedule explorer interpret them.
@@ -61,6 +65,16 @@ pub const MATRIX: &[LayerRule] = &[
     LayerRule {
         enum_name: "StackWire",
         variants: &["Propose", "FlushAck", "Install", "JoinReq"],
+        construct: &["crates/core/src/stack.rs", "crates/core/src/wire.rs"],
+        consume: &[
+            "crates/core/src/stack.rs",
+            "crates/core/src/wire.rs",
+            "crates/verify/src/",
+        ],
+    },
+    LayerRule {
+        enum_name: "StackWire",
+        variants: &["Link"],
         construct: &["crates/core/src/stack.rs", "crates/core/src/wire.rs"],
         consume: &[
             "crates/core/src/stack.rs",

@@ -32,7 +32,11 @@ use crate::analysis::{Finding, SourceFile, Workspace};
 use std::collections::HashMap;
 
 /// Files whose decode-shaped functions are audit roots.
-pub const ENTRY_FILES: &[&str] = &["crates/core/src/wire.rs", "crates/net/src/frame.rs"];
+pub const ENTRY_FILES: &[&str] = &[
+    "crates/core/src/wire.rs",
+    "crates/core/src/delivery/pcbcast/codec.rs",
+    "crates/net/src/frame.rs",
+];
 
 /// Macros that panic (or abort the process) when hit.
 const PANIC_MACROS: &[&str] = &[
@@ -221,6 +225,18 @@ mod tests {
         assert_eq!(f[0].line, 1);
         assert!(f[0].detail.contains("`.unwrap()`"));
         assert!(f[0].detail.contains("decode_msg"));
+    }
+
+    #[test]
+    fn pcbcast_codec_is_an_audit_root() {
+        // The PC link codec faces network bytes like wire.rs does; its
+        // decode-shaped functions must be walked by the same audit.
+        let f = run(&[(
+            "crates/core/src/delivery/pcbcast/codec.rs",
+            "fn decode_link_body(b: &mut &[u8]) -> L { b.split_first().unwrap().0 }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].detail.contains("decode_link_body"));
     }
 
     #[test]
