@@ -11,7 +11,10 @@
 //!   ([`FlatCbcastEngine`], [`ScanGraphDelivery`]), with the speedup.
 //! * `BENCH_net.json` — a two-node loopback TCP flood, reporting
 //!   end-to-end message throughput and the writer's coalescing factor
-//!   (`frames_per_write` > 1 means batching engaged).
+//!   (`frames_per_write` > 1 means batching engaged), plus a
+//!   connection-count scaling sweep (PC-broadcast clusters from 8 to
+//!   1024 nodes on one shared reactor, reporting setup time, delivery
+//!   throughput, and resident thread/FD counts).
 //!
 //! Usage: `bench_hotpath [--quick] [--out-dir DIR]`. `--quick` shrinks
 //! every scenario for CI smoke runs; full mode is the committed baseline.
@@ -19,12 +22,16 @@
 use causal_bench::json::{array, JsonObject};
 use causal_clocks::ProcessId;
 use causal_core::delivery::reference::{FlatCbcastEngine, ScanGraphDelivery};
-use causal_core::delivery::{CbcastEngine, GraphDelivery, VtEnvelope};
+use causal_core::delivery::{CbcastEngine, Delivered, GraphDelivery, VtEnvelope};
+use causal_core::node::{App, Emitter, PcNode};
 use causal_core::osend::{GraphEnvelope, OSender, OccursAfter};
-use causal_net::{spawn_node, NodeHandle, TcpConfig};
-use causal_simnet::{Actor, Context};
+use causal_core::statemachine::OpClass;
+use causal_net::{spawn_node, LoopbackCluster, NodeHandle, TcpConfig};
+use causal_simnet::{Actor, Context, SimDuration};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Scenario sizes; `quick` is the CI smoke configuration.
@@ -45,6 +52,8 @@ struct Sizes {
     graph_deps: usize,
     /// Frames pushed through the loopback TCP flood.
     net_msgs: u64,
+    /// Cluster sizes of the connection-count scaling sweep.
+    scale_ns: &'static [usize],
     /// Timing repetitions per engine (best-of).
     reps: usize,
 }
@@ -57,6 +66,7 @@ const FULL: Sizes = Sizes {
     graph_msgs: 4_000,
     graph_deps: 64,
     net_msgs: 100_000,
+    scale_ns: &[8, 64, 256, 1024],
     reps: 3,
 };
 
@@ -68,6 +78,7 @@ const QUICK: Sizes = Sizes {
     graph_msgs: 600,
     graph_deps: 16,
     net_msgs: 5_000,
+    scale_ns: &[8, 32],
     reps: 1,
 };
 
@@ -108,8 +119,16 @@ fn main() {
         net.name, net.rate, net.frames_per_write, net.bytes_per_write
     );
 
+    let scaling = bench_conn_scaling(&sizes);
+    for p in &scaling {
+        println!(
+            "  tcp_conn_scaling n={:<5} setup {:>7.3}s   {:>10.0} msg/s   {:>4} threads   {:>5} fds",
+            p.nodes, p.setup_secs, p.rate, p.threads, p.fds
+        );
+    }
+
     write_delivery_json(&out_dir, mode, &delivery);
-    write_net_json(&out_dir, mode, &net);
+    write_net_json(&out_dir, mode, &net, &scaling);
     println!();
     println!(
         "wrote {} and {}",
@@ -386,6 +405,134 @@ fn bench_tcp_flood(sizes: &Sizes) -> NetResult {
 }
 
 // ---------------------------------------------------------------------------
+// Connection-count scaling sweep
+// ---------------------------------------------------------------------------
+
+/// At most this many members broadcast per sweep point, so the delivery
+/// workload grows linearly in cluster size (`n * min(n, 64)` deliveries)
+/// while the connection/thread/FD footprint still scales with `n`.
+const SCALE_BROADCASTER_CAP: usize = 64;
+
+/// One cluster size of the scaling sweep.
+struct ScalePoint {
+    nodes: usize,
+    broadcasters: usize,
+    deliveries: u64,
+    setup_secs: f64,
+    total_secs: f64,
+    rate: f64,
+    threads: usize,
+    fds: usize,
+}
+
+/// PC-broadcast replica for the sweep: members `0..broadcasters` each
+/// broadcast one op at start; every member counts deliveries.
+struct ScaleApp {
+    broadcasters: usize,
+    applied: Arc<AtomicU64>,
+}
+
+impl App for ScaleApp {
+    type Op = u64;
+
+    fn on_start(&mut self, me: ProcessId, out: &mut Emitter<u64>) {
+        if (me.as_u32() as usize) < self.broadcasters {
+            out.osend(1, OccursAfter::none());
+        }
+    }
+
+    fn on_deliver(&mut self, _env: Delivered<'_, u64>, _out: &mut Emitter<u64>) {
+        self.applied.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn classify(&self, _op: &u64) -> OpClass {
+        OpClass::Commutative
+    }
+}
+
+/// Runs one PC-broadcast cluster per entry of `scale_ns` on one shared
+/// reactor. PC-broadcast's k-ary routed overlay opens only tree-neighbour
+/// links, and links are created lazily, so sockets/threads/FDs stay O(n)
+/// rather than O(n²) — which is what the recorded `threads`/`fds` columns
+/// demonstrate.
+fn bench_conn_scaling(sizes: &Sizes) -> Vec<ScalePoint> {
+    sizes.scale_ns.iter().map(|&n| scale_point(n)).collect()
+}
+
+fn scale_point(n: usize) -> ScalePoint {
+    let broadcasters = n.min(SCALE_BROADCASTER_CAP);
+    let applied: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let nodes: Vec<PcNode<ScaleApp>> = (0..n)
+        .map(|i| {
+            PcNode::new(
+                ProcessId::new(i as u32),
+                n,
+                ScaleApp {
+                    broadcasters,
+                    applied: Arc::clone(&applied[i]),
+                },
+            )
+            // The simulator-scale retransmit sweep is too hot for many
+            // wall-clock nodes on one box; acks still prune quickly.
+            .with_retransmit_every(SimDuration::from_millis(250))
+        })
+        .collect();
+
+    // Broadcasts start flowing while later nodes are still spawning, so
+    // the honest throughput clock covers cold start → full convergence;
+    // `setup_secs` (spawn return) is recorded separately.
+    let start = Instant::now();
+    let cluster = LoopbackCluster::spawn(nodes, 99, TcpConfig::default()).expect("spawn cluster");
+    let setup_secs = start.elapsed().as_secs_f64();
+
+    let per_node = broadcasters as u64;
+    let deadline = start + Duration::from_secs(300);
+    while applied.iter().any(|a| a.load(Ordering::SeqCst) < per_node) {
+        assert!(
+            Instant::now() < deadline,
+            "scaling point n={n} did not converge: min applied {:?} of {per_node}",
+            applied.iter().map(|a| a.load(Ordering::SeqCst)).min()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+
+    // Footprint while the cluster is still fully up.
+    let threads = proc_thread_count();
+    let fds = proc_fd_count();
+    drop(cluster.shutdown());
+
+    let deliveries = n as u64 * per_node;
+    ScalePoint {
+        nodes: n,
+        broadcasters,
+        deliveries,
+        setup_secs,
+        total_secs,
+        rate: deliveries as f64 / total_secs,
+        threads,
+        fds,
+    }
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn proc_thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Current open-FD count of this process, from `/proc/self/fd`.
+fn proc_fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
 // Artifact emission
 // ---------------------------------------------------------------------------
 
@@ -437,8 +584,8 @@ fn indexed_engine(name: &str) -> &'static str {
     }
 }
 
-fn write_net_json(out_dir: &Path, mode: &str, net: &NetResult) {
-    let scenario = JsonObject::new()
+fn write_net_json(out_dir: &Path, mode: &str, net: &NetResult, scaling: &[ScalePoint]) {
+    let flood = JsonObject::new()
         .str("name", net.name)
         .u64("messages", net.messages)
         .f64("secs", net.secs)
@@ -448,6 +595,27 @@ fn write_net_json(out_dir: &Path, mode: &str, net: &NetResult) {
         .f64("frames_per_write", net.frames_per_write)
         .f64("bytes_per_write", net.bytes_per_write)
         .render(2);
+    let points: Vec<String> = scaling
+        .iter()
+        .map(|p| {
+            JsonObject::new()
+                .u64("nodes", p.nodes as u64)
+                .u64("broadcasters", p.broadcasters as u64)
+                .u64("deliveries", p.deliveries)
+                .f64("setup_secs", p.setup_secs)
+                .f64("total_secs", p.total_secs)
+                .f64("msgs_per_sec", p.rate)
+                .u64("threads", p.threads as u64)
+                .u64("fds", p.fds as u64)
+                .render(4)
+        })
+        .collect();
+    let sweep = JsonObject::new()
+        .str("name", "tcp_conn_scaling")
+        .str("engine", "pc_broadcast")
+        .u64("broadcaster_cap", SCALE_BROADCASTER_CAP as u64)
+        .raw("points", array(&points, 3))
+        .render(2);
     let doc = JsonObject::new()
         .str("bench", "bench_hotpath")
         .str("mode", mode)
@@ -455,7 +623,7 @@ fn write_net_json(out_dir: &Path, mode: &str, net: &NetResult) {
             "command",
             "cargo run --release -p causal-bench --bin bench_hotpath",
         )
-        .raw("scenarios", array(&[scenario], 1))
+        .raw("scenarios", array(&[flood, sweep], 1))
         .render(0);
     std::fs::write(out_dir.join("BENCH_net.json"), doc + "\n").expect("write net json");
 }

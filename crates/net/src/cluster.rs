@@ -1,25 +1,32 @@
 //! [`LoopbackCluster`]: boot a whole group on ephemeral localhost ports.
 //!
 //! The test/demo harness for the TCP transport: binds one listener per
-//! member on `127.0.0.1:0`, collects the assigned addresses, and spawns a
-//! full mesh of [`spawn_node`]s. Used by the integration tests to run the
-//! real causal-broadcast stack over real sockets, and by
-//! `examples/tcp_counter.rs`.
+//! member on `127.0.0.1:0`, collects the assigned addresses, and spawns
+//! every node onto **one shared [`Reactor`]** — a whole in-process
+//! cluster costs `poller_shards` event-loop threads plus one driver per
+//! node, whatever its size (links are created lazily on first send, so a
+//! sparse overlay like PC-broadcast's tree opens only the sockets it
+//! uses). Used by the integration tests to run the real causal-broadcast
+//! stack over real sockets, and by `examples/tcp_counter.rs`.
 
 use crate::config::TcpConfig;
-use crate::node::{spawn_node, NodeHandle};
+use crate::node::{spawn_node_on, NodeHandle};
+use crate::reactor::Reactor;
 use crate::stats::NetSnapshot;
 use causal_clocks::ProcessId;
 use causal_core::wire::WireEncode;
 use causal_simnet::Actor;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
 
-/// A group of TCP nodes on ephemeral localhost ports.
+/// A group of TCP nodes on ephemeral localhost ports, sharing one
+/// poller pool.
 #[derive(Debug)]
 pub struct LoopbackCluster<A: Actor> {
     handles: Vec<NodeHandle<A>>,
     addrs: Vec<SocketAddr>,
+    reactor: Arc<Reactor>,
 }
 
 impl<A> LoopbackCluster<A>
@@ -49,12 +56,14 @@ where
             .iter()
             .map(|l| l.local_addr())
             .collect::<io::Result<_>>()?;
+        let reactor = Reactor::start(&config)?;
         let handles = actors
             .into_iter()
             .zip(listeners)
             .enumerate()
             .map(|(i, (actor, listener))| {
-                spawn_node(
+                spawn_node_on(
+                    &reactor,
                     actor,
                     ProcessId::new(i as u32),
                     listener,
@@ -64,7 +73,16 @@ where
                 )
             })
             .collect::<io::Result<_>>()?;
-        Ok(LoopbackCluster { handles, addrs })
+        Ok(LoopbackCluster {
+            handles,
+            addrs,
+            reactor,
+        })
+    }
+
+    /// The shared reactor driving every member's sockets.
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        &self.reactor
     }
 
     /// Number of members.

@@ -1,88 +1,401 @@
-//! Per-peer TCP connection management: handshake, reconnect, teardown.
+//! Per-peer link state and the node-facing connection manager.
 //!
 //! Connections are **directional**: for every ordered pair `(a, b)` of
-//! group members, `a` owns one outbound connection to `b` (so a group of
-//! `n` carries `n·(n-1)` sockets — fine at the group sizes the paper
-//! targets). The initiator identifies itself with a `Hello` frame; the
-//! acceptor spawns a reader that tags every subsequent frame with that id.
+//! group members, `a` owns one outbound connection to `b`. Links are
+//! created **lazily on first send** and all of a node's sockets are
+//! driven by the shared [`Reactor`] poller pool — a mostly quiet member
+//! of a large group costs a listener and O(live links) queue memory, not
+//! threads.
 //!
-//! Failure policy: a failed write tears the connection down and the frame
-//! is **dropped**; the next outbound frame triggers a reconnect episode
-//! (exponential backoff, bounded attempts). The transport never queues
-//! across an outage beyond what is already in the channel — the reliable
-//! broadcast layer above retransmits on a timer, so dropped frames cost
-//! latency, not correctness. This mirrors the paper's kernel-interface
-//! assumption that the network may lose messages.
+//! Failure policy (unchanged from the thread-per-pair transport): a
+//! failed write tears the connection down and the in-flight batch is
+//! **dropped**; queued frames ride into the reconnect episode
+//! (exponential backoff, bounded attempts), and exhausting an episode
+//! drops the queue. The reliable broadcast layer above retransmits on a
+//! timer, so dropped frames cost latency, not correctness — mirroring
+//! the paper's kernel-interface assumption that the network may lose
+//! messages.
 
+use crate::buffer::Frame;
 use crate::config::TcpConfig;
-use crate::frame::{append_frame, hello_frame, parse_hello, FrameReader};
+use crate::frame::hello_body;
+use crate::reactor::{Reactor, NO_CONN};
 use crate::stats::NetStats;
 use causal_clocks::ProcessId;
-use std::io::{self, Write};
+use causal_core::wire::{FrameHeader, WireEncode};
+use std::collections::VecDeque;
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
-/// A raw inbound message: the sending peer and the undecoded frame body.
-pub type RawInbound = (ProcessId, Vec<u8>);
+/// How long [`ConnectionManager::shutdown`] waits for every reactor
+/// shard to acknowledge closing this node's sockets.
+const SHUTDOWN_ACK_DEADLINE: Duration = Duration::from_secs(5);
 
-/// One frame body queued toward a peer. Unicast sends own their bytes;
-/// multicast fan-out shares one encoding across every per-peer channel.
-enum Outbound {
+/// Receives inbound frames as borrowed views of the pooled receive
+/// buffers — the zero-copy hand-off point between the reactor's read
+/// path and a node's decoder.
+///
+/// Called on reactor shard threads; implementations decode (or copy, if
+/// they must) before returning, because the view dies with the call.
+pub trait InboundSink: Send + Sync {
+    /// Handles one frame from `from`. Returns `false` when the receiver
+    /// is gone and the connection should close.
+    fn on_frame(&self, from: ProcessId, frame: Frame<'_>) -> bool;
+}
+
+/// One frame queued toward a peer: the 4-byte length header plus the
+/// body. Unicast sends own their bytes; multicast fan-out shares one
+/// `Arc` encoding across every per-peer queue, and the vectored write
+/// path hands both parts to the kernel without re-concatenating them.
+pub(crate) struct OutFrame {
+    header: [u8; FrameHeader::ENCODED_LEN],
+    body: FrameBody,
+}
+
+enum FrameBody {
     Owned(Vec<u8>),
     Shared(Arc<[u8]>),
 }
 
-impl Outbound {
-    fn as_slice(&self) -> &[u8] {
+impl OutFrame {
+    fn with_body(body: FrameBody) -> Self {
+        let len = match &body {
+            FrameBody::Owned(v) => v.len(),
+            FrameBody::Shared(a) => a.len(),
+        };
+        let mut encoded = Vec::with_capacity(FrameHeader::ENCODED_LEN);
+        FrameHeader::for_body_len(len).encode(&mut encoded);
+        let mut header = [0u8; FrameHeader::ENCODED_LEN];
+        header.copy_from_slice(&encoded);
+        OutFrame { header, body }
+    }
+
+    pub(crate) fn owned(body: Vec<u8>) -> Self {
+        Self::with_body(FrameBody::Owned(body))
+    }
+
+    pub(crate) fn shared(body: Arc<[u8]>) -> Self {
+        Self::with_body(FrameBody::Shared(body))
+    }
+
+    /// The identifying handshake frame an initiator sends first.
+    pub(crate) fn hello(me: ProcessId) -> Self {
+        Self::owned(hello_body(me))
+    }
+
+    pub(crate) fn header_bytes(&self) -> &[u8] {
+        &self.header
+    }
+
+    pub(crate) fn body_bytes(&self) -> &[u8] {
+        match &self.body {
+            FrameBody::Owned(v) => v,
+            FrameBody::Shared(a) => a,
+        }
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub(crate) fn wire_len(&self) -> usize {
+        FrameHeader::ENCODED_LEN + self.body_bytes().len()
+    }
+}
+
+/// Connection lifecycle of one link, driven by sender CAS transitions
+/// (`Idle → Connecting`) and shard-side completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkMode {
+    /// No connection and nothing in flight; the next send starts one.
+    Idle,
+    /// A connect episode is running (attempt in flight or backoff timer
+    /// armed).
+    Connecting,
+    /// Established; frames flush through the reactor's write path.
+    Up,
+}
+
+impl LinkMode {
+    fn as_u8(self) -> u8 {
         match self {
-            Outbound::Owned(v) => v,
-            Outbound::Shared(a) => a,
+            LinkMode::Idle => 0,
+            LinkMode::Connecting => 1,
+            LinkMode::Up => 2,
+        }
+    }
+
+    fn of_u8(v: u8) -> LinkMode {
+        match v {
+            1 => LinkMode::Connecting,
+            2 => LinkMode::Up,
+            _ => LinkMode::Idle,
         }
     }
 }
 
-struct Link {
-    tx: Mutex<Sender<Outbound>>,
-    /// Clone of the currently live outbound stream, for fault injection
-    /// ([`ConnectionManager::force_disconnect`]) and shutdown.
-    live: Arc<Mutex<Option<TcpStream>>>,
+/// Reconnect policy copied out of [`TcpConfig`] at link creation.
+#[derive(Debug, Clone, Copy)]
+struct ReconnectPolicy {
+    initial: Duration,
+    max: Duration,
+    retries: u32,
 }
 
-/// Owns one node's sockets and I/O threads: an acceptor, one reader per
-/// inbound connection, one writer per peer.
+/// Backoff progress of the current connect episode (shard-only).
+struct Episode {
+    attempts: u32,
+    next_delay: Duration,
+}
+
+/// Everything shared about one directed link: the outbound frame queue,
+/// connection mode, and the live-socket handle used for fault injection.
+///
+/// Senders (the driver thread) enqueue and flip flags; the link's
+/// reactor shard owns connecting, flushing, and teardown.
+pub(crate) struct LinkState {
+    /// Id of the owning node within the reactor (teardown scoping).
+    pub(crate) node_id: u64,
+    /// The sending node (named in the Hello handshake).
+    pub(crate) me: ProcessId,
+    /// The destination.
+    pub(crate) peer: ProcessId,
+    /// Where the destination listens.
+    pub(crate) addr: SocketAddr,
+    /// Reactor shard this link's socket lives on.
+    pub(crate) shard: usize,
+    /// Owning node's shutdown flag (checked by the shard before
+    /// reconnecting).
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Owning node's counters.
+    pub(crate) stats: Arc<NetStats>,
+    /// Slot token of the live/in-progress connection on the shard
+    /// ([`NO_CONN`] when none). Written only by the shard thread.
+    pub(crate) conn_token: AtomicUsize,
+    queue: Mutex<VecDeque<OutFrame>>,
+    queued_bytes: AtomicUsize,
+    max_queued_bytes: usize,
+    mode: AtomicU8,
+    dirty: AtomicBool,
+    /// Clone of the currently live outbound stream, for fault injection
+    /// ([`ConnectionManager::force_disconnect`]) and shutdown.
+    live: Mutex<Option<TcpStream>>,
+    ever_connected: AtomicBool,
+    policy: ReconnectPolicy,
+    episode: Mutex<Episode>,
+}
+
+impl LinkState {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        node_id: u64,
+        me: ProcessId,
+        peer: ProcessId,
+        addr: SocketAddr,
+        shard: usize,
+        shutdown: Arc<AtomicBool>,
+        stats: Arc<NetStats>,
+        config: &TcpConfig,
+    ) -> Self {
+        LinkState {
+            node_id,
+            me,
+            peer,
+            addr,
+            shard,
+            shutdown,
+            stats,
+            conn_token: AtomicUsize::new(NO_CONN),
+            queue: Mutex::new(VecDeque::new()),
+            queued_bytes: AtomicUsize::new(0),
+            max_queued_bytes: config.max_queued_bytes,
+            mode: AtomicU8::new(LinkMode::Idle.as_u8()),
+            dirty: AtomicBool::new(false),
+            live: Mutex::new(None),
+            ever_connected: AtomicBool::new(false),
+            policy: ReconnectPolicy {
+                initial: config.backoff_initial.max(Duration::from_millis(1)),
+                max: config.backoff_max.max(config.backoff_initial),
+                retries: config.max_connect_retries.max(1),
+            },
+            episode: Mutex::new(Episode {
+                attempts: 0,
+                next_delay: config.backoff_initial,
+            }),
+        }
+    }
+
+    // -- sender side --------------------------------------------------------
+
+    /// Queues one frame unless the link's byte cap is exceeded.
+    fn enqueue(&self, frame: OutFrame) -> bool {
+        let bytes = frame.wire_len();
+        if self
+            .queued_bytes
+            .load(Ordering::Relaxed)
+            .saturating_add(bytes)
+            > self.max_queued_bytes
+        {
+            return false;
+        }
+        self.queued_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.queue.lock().unwrap().push_back(frame);
+        true
+    }
+
+    /// `Idle → Connecting`; true when this sender starts the episode.
+    fn try_begin_connect(&self) -> bool {
+        self.mode
+            .compare_exchange(
+                LinkMode::Idle.as_u8(),
+                LinkMode::Connecting.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Flags queued work; true when the flag was clear (shard needs a
+    /// wake).
+    fn mark_dirty(&self) -> bool {
+        !self.dirty.swap(true, Ordering::AcqRel)
+    }
+
+    /// Hard-closes the live socket (fault injection / shutdown); the
+    /// shard observes the failure through epoll.
+    fn kill_live(&self) {
+        if let Some(stream) = self.live.lock().unwrap().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    // -- shard side ---------------------------------------------------------
+
+    pub(crate) fn mode(&self) -> LinkMode {
+        LinkMode::of_u8(self.mode.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_mode(&self, mode: LinkMode) {
+        self.mode.store(mode.as_u8(), Ordering::Release);
+    }
+
+    pub(crate) fn clear_dirty(&self) {
+        self.dirty.store(false, Ordering::Release);
+    }
+
+    pub(crate) fn set_live(&self, stream: Option<TcpStream>) {
+        *self.live.lock().unwrap() = stream;
+    }
+
+    /// Marks the link as having connected at least once; returns whether
+    /// it already had (i.e. this establishment is a *re*connect).
+    pub(crate) fn mark_connected(&self) -> bool {
+        self.ever_connected.swap(true, Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_reconnect(&self) {
+        if let Some(l) = self.stats.link(self.peer) {
+            l.record_reconnect();
+        }
+    }
+
+    pub(crate) fn record_drops(&self, n: u64) {
+        if n > 0 {
+            if let Some(l) = self.stats.link(self.peer) {
+                l.record_send_drops(n);
+            }
+        }
+    }
+
+    pub(crate) fn has_queued(&self) -> bool {
+        self.queued_bytes.load(Ordering::Relaxed) > 0
+    }
+
+    /// Moves everything queued into the shard's in-flight queue.
+    pub(crate) fn drain_queue_into(&self, dst: &mut VecDeque<OutFrame>) {
+        let mut q = self.queue.lock().unwrap();
+        while let Some(frame) = q.pop_front() {
+            self.queued_bytes
+                .fetch_sub(frame.wire_len(), Ordering::Relaxed);
+            dst.push_back(frame);
+        }
+    }
+
+    /// Drops everything queued, counting the frames as send drops (an
+    /// exhausted reconnect episode or node teardown).
+    pub(crate) fn abandon_queue(&self) {
+        let dropped = {
+            let mut q = self.queue.lock().unwrap();
+            std::mem::take(&mut *q)
+        };
+        let bytes: usize = dropped.iter().map(OutFrame::wire_len).sum();
+        self.queued_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.record_drops(dropped.len() as u64);
+    }
+
+    /// Starts a fresh backoff schedule for a new connect episode.
+    pub(crate) fn episode_reset(&self) {
+        let mut ep = self.episode.lock().unwrap();
+        ep.attempts = 0;
+        ep.next_delay = self.policy.initial;
+    }
+
+    /// Books one failed attempt. Returns the delay before the next one,
+    /// or `None` when the episode's retry budget is exhausted.
+    pub(crate) fn episode_next_delay(&self) -> Option<Duration> {
+        let mut ep = self.episode.lock().unwrap();
+        ep.attempts += 1;
+        if ep.attempts >= self.policy.retries {
+            return None;
+        }
+        let delay = ep.next_delay;
+        ep.next_delay = (delay * 2).min(self.policy.max);
+        Some(delay)
+    }
+}
+
+/// The per-node slice of transport shared by every link and inbound
+/// connection of one node: identity, config, counters, shutdown flag,
+/// and the frame sink.
+pub(crate) struct NodeCore {
+    /// Reactor-unique id scoping this node's sockets for teardown.
+    pub(crate) id: u64,
+    pub(crate) me: ProcessId,
+    pub(crate) config: TcpConfig,
+    pub(crate) stats: Arc<NetStats>,
+    pub(crate) sink: Arc<dyn InboundSink>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+}
+
+/// Owns one node's transport face: lazily created per-peer links, the
+/// listener registration, and shutdown. All sockets are driven by the
+/// [`Reactor`] passed at start — this type spawns **no threads**.
 ///
 /// All methods take `&self`; the manager is shared between the driver
 /// thread and the controlling [`NodeHandle`](crate::node::NodeHandle)
 /// through an `Arc`.
 pub struct ConnectionManager {
-    me: ProcessId,
-    links: Vec<Option<Link>>,
-    inbox_tx: Mutex<Sender<RawInbound>>,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<NetStats>,
-    writers: Mutex<Vec<JoinHandle<()>>>,
-    acceptor: Mutex<Option<JoinHandle<()>>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    core: Arc<NodeCore>,
+    peer_addrs: Vec<SocketAddr>,
+    links: Vec<OnceLock<Arc<LinkState>>>,
+    reactor: Arc<Reactor>,
+    stopped: AtomicBool,
 }
 
 impl std::fmt::Debug for ConnectionManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConnectionManager")
-            .field("me", &self.me)
+            .field("me", &self.core.me)
             .field("peers", &self.links.len())
             .finish_non_exhaustive()
     }
 }
 
 impl ConnectionManager {
-    /// Starts the I/O threads for node `me`. `peer_addrs` is indexed by
+    /// Registers node `me` on `reactor`. `peer_addrs` is indexed by
     /// [`ProcessId`] and must include an entry for `me` itself (ignored —
-    /// self-sends loop back through the inbox without touching a socket).
-    /// Inbound messages arrive on `inbox_tx`.
+    /// self-sends loop straight into `sink` without touching a socket).
+    /// Inbound frames arrive on `sink` from reactor shard threads.
     ///
     /// # Errors
     ///
@@ -93,345 +406,132 @@ impl ConnectionManager {
         peer_addrs: &[SocketAddr],
         config: TcpConfig,
         stats: Arc<NetStats>,
-        inbox_tx: Sender<RawInbound>,
+        sink: Arc<dyn InboundSink>,
+        reactor: Arc<Reactor>,
     ) -> io::Result<Self> {
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        listener.set_nonblocking(true)?;
-        let acceptor = std::thread::spawn({
-            let inbox_tx = inbox_tx.clone();
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
-            let readers = Arc::clone(&readers);
-            let config = config.clone();
-            move || accept_loop(listener, inbox_tx, stats, shutdown, readers, config)
-        });
-
-        let mut links = Vec::with_capacity(peer_addrs.len());
-        let mut writers = Vec::new();
-        for (i, &addr) in peer_addrs.iter().enumerate() {
-            let peer = ProcessId::new(i as u32);
-            if peer == me {
-                links.push(None);
-                continue;
-            }
-            let (tx, rx) = channel();
-            let live = Arc::new(Mutex::new(None));
-            writers.push(std::thread::spawn({
-                let live = Arc::clone(&live);
-                let stats = Arc::clone(&stats);
-                let shutdown = Arc::clone(&shutdown);
-                let config = config.clone();
-                move || writer_loop(me, peer, addr, rx, live, stats, shutdown, config)
-            }));
-            links.push(Some(Link {
-                tx: Mutex::new(tx),
-                live,
-            }));
-        }
-
-        Ok(ConnectionManager {
+        let core = Arc::new(NodeCore {
+            id: reactor.next_node_id(),
             me,
-            links,
-            inbox_tx: Mutex::new(inbox_tx),
-            shutdown,
+            config,
             stats,
-            writers: Mutex::new(writers),
-            acceptor: Mutex::new(Some(acceptor)),
-            readers,
+            sink,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let shard = reactor.assign_shard();
+        reactor.add_listener(shard, listener, Arc::clone(&core))?;
+        Ok(ConnectionManager {
+            core,
+            peer_addrs: peer_addrs.to_vec(),
+            links: peer_addrs.iter().map(|_| OnceLock::new()).collect(),
+            reactor,
+            stopped: AtomicBool::new(false),
         })
     }
 
-    /// Hands an encoded message body to the link toward `to`. Self-sends
-    /// loop straight back into the inbox.
-    pub fn send_to(&self, to: ProcessId, body: Vec<u8>) {
-        if let Some(link) = self.stats.link(to) {
-            link.record_sent(body.len());
+    /// The link toward `to`, created on first use (`None` for self or an
+    /// out-of-range id).
+    fn link_for(&self, to: ProcessId) -> Option<&Arc<LinkState>> {
+        if to == self.core.me {
+            return None;
         }
-        if to == self.me {
-            let _ = self.inbox_tx.lock().unwrap().send((self.me, body));
+        let slot = self.links.get(to.as_usize())?;
+        let addr = *self.peer_addrs.get(to.as_usize())?;
+        Some(slot.get_or_init(|| {
+            Arc::new(LinkState::new(
+                self.core.id,
+                self.core.me,
+                to,
+                addr,
+                self.reactor.assign_shard(),
+                Arc::clone(&self.core.shutdown),
+                Arc::clone(&self.core.stats),
+                &self.core.config,
+            ))
+        }))
+    }
+
+    /// Queues `frame` toward `to` and nudges the link's shard: a clean
+    /// link gets a connect request, a live one a dirty-flag wake (at
+    /// most one per flush cycle — the flag stays set until the shard
+    /// drains the queue).
+    fn dispatch(&self, to: ProcessId, frame: OutFrame) {
+        if self.core.shutdown.load(Ordering::SeqCst) {
+            if let Some(l) = self.core.stats.link(to) {
+                l.record_send_drop();
+            }
             return;
         }
-        match self.links.get(to.as_usize()) {
-            Some(Some(link)) => {
-                let _ = link.tx.lock().unwrap().send(Outbound::Owned(body));
+        let Some(link) = self.link_for(to) else {
+            if let Some(l) = self.core.stats.link(to) {
+                l.record_send_drop();
             }
-            _ => {
-                if let Some(link) = self.stats.link(to) {
-                    link.record_send_drop();
-                }
+            return;
+        };
+        if !link.enqueue(frame) {
+            if let Some(l) = self.core.stats.link(to) {
+                l.record_send_drop();
             }
+            return;
+        }
+        if link.try_begin_connect() {
+            link.mark_dirty();
+            self.reactor.request_connect(Arc::clone(link));
+        } else if link.mark_dirty() {
+            self.reactor.mark_dirty(Arc::clone(link));
         }
     }
 
+    /// Hands an encoded message body to the link toward `to`. Self-sends
+    /// loop straight into the sink as a borrowed frame.
+    pub fn send_to(&self, to: ProcessId, body: Vec<u8>) {
+        if let Some(link) = self.core.stats.link(to) {
+            link.record_sent(body.len());
+        }
+        if to == self.core.me {
+            self.core.sink.on_frame(self.core.me, Frame::new(&body));
+            return;
+        }
+        self.dispatch(to, OutFrame::owned(body));
+    }
+
     /// Hands one encoded body to every link in `targets` without copying
-    /// it: each per-peer channel gets a reference to the same shared
-    /// bytes. A self target loops back through the inbox (which needs an
-    /// owned copy).
+    /// it: each per-peer queue gets a reference to the same shared bytes
+    /// and the vectored write path sends them in place. A self target
+    /// loops straight into the sink.
     pub fn multicast(&self, targets: &[ProcessId], body: Arc<[u8]>) {
         for &to in targets {
-            if let Some(link) = self.stats.link(to) {
+            if let Some(link) = self.core.stats.link(to) {
                 link.record_sent(body.len());
             }
-            if to == self.me {
-                let _ = self.inbox_tx.lock().unwrap().send((self.me, body.to_vec()));
+            if to == self.core.me {
+                self.core.sink.on_frame(self.core.me, Frame::new(&body));
                 continue;
             }
-            match self.links.get(to.as_usize()) {
-                Some(Some(link)) => {
-                    let _ = link
-                        .tx
-                        .lock()
-                        .unwrap()
-                        .send(Outbound::Shared(Arc::clone(&body)));
-                }
-                _ => {
-                    if let Some(link) = self.stats.link(to) {
-                        link.record_send_drop();
-                    }
-                }
-            }
+            self.dispatch(to, OutFrame::shared(Arc::clone(&body)));
         }
     }
 
     /// Fault injection: hard-closes the live outbound connection to `to`
     /// (both directions of the socket), as if the network cut it. The
-    /// writer notices on its next send and reconnects with backoff.
+    /// link's shard notices through epoll and reconnects with backoff if
+    /// frames are queued or the next send arrives.
     pub fn force_disconnect(&self, to: ProcessId) {
-        if let Some(Some(link)) = self.links.get(to.as_usize()) {
-            if let Some(stream) = link.live.lock().unwrap().take() {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
+        if let Some(Some(link)) = self.links.get(to.as_usize()).map(OnceLock::get) {
+            link.kill_live();
         }
     }
 
-    /// Stops all I/O threads and closes every connection. Idempotent.
+    /// Closes every socket this node owns and waits (bounded) for its
+    /// reactor shards to acknowledge. Idempotent; spawns nothing, joins
+    /// nothing — the shared reactor keeps running for other nodes.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for link in self.links.iter().flatten() {
-            if let Some(stream) = link.live.lock().unwrap().take() {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
-        }
-        if let Some(handle) = self.acceptor.lock().unwrap().take() {
-            let _ = handle.join();
-        }
-        for handle in self.writers.lock().unwrap().drain(..) {
-            let _ = handle.join();
-        }
-        for handle in self.readers.lock().unwrap().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    inbox_tx: Sender<RawInbound>,
-    stats: Arc<NetStats>,
-    shutdown: Arc<AtomicBool>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    config: TcpConfig,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stream.set_nonblocking(false).is_err()
-                    || stream.set_read_timeout(Some(config.poll_interval)).is_err()
-                {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let handle = std::thread::spawn({
-                    let inbox_tx = inbox_tx.clone();
-                    let stats = Arc::clone(&stats);
-                    let shutdown = Arc::clone(&shutdown);
-                    let config = config.clone();
-                    move || reader_loop(stream, inbox_tx, stats, shutdown, config)
-                });
-                readers.lock().unwrap().push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn reader_loop(
-    stream: TcpStream,
-    inbox_tx: Sender<RawInbound>,
-    stats: Arc<NetStats>,
-    shutdown: Arc<AtomicBool>,
-    config: TcpConfig,
-) {
-    let mut reader = FrameReader::new(stream);
-
-    // Handshake: the first frame must be a valid Hello naming a known peer.
-    let started = Instant::now();
-    let from = loop {
-        if shutdown.load(Ordering::SeqCst) || started.elapsed() > config.hello_timeout {
+        if self.stopped.swap(true, Ordering::SeqCst) {
             return;
         }
-        match reader.next_frame() {
-            Ok(Some(body)) => match parse_hello(&body) {
-                Ok(id) if stats.link(id).is_some() => break id,
-                _ => {
-                    stats.record_decode_error();
-                    return;
-                }
-            },
-            Ok(None) => {}
-            Err(_) => return,
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for link in self.links.iter().filter_map(OnceLock::get) {
+            link.kill_live();
         }
-    };
-
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.next_frame() {
-            Ok(Some(body)) => {
-                let len = body.len();
-                if inbox_tx.send((from, body)).is_err() {
-                    return; // driver gone
-                }
-                // Counted only once handed to the driver, so the counters
-                // never run ahead of what the actor can still observe.
-                if let Some(link) = stats.link(from) {
-                    link.record_recv(len);
-                }
-            }
-            Ok(None) => {}
-            Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    // Desynchronized framing: nothing downstream is
-                    // trustworthy, so drop the connection and let the
-                    // peer's writer re-establish it.
-                    stats.record_decode_error();
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// Blocks for one frame, lazily (re)connects, then coalesces every frame
-/// already waiting in the channel (up to `max_batch_bytes`) into one
-/// reused buffer and issues a single `write_all` + flush for the whole
-/// batch. Under bursts — broadcast fan-out, retransmission sweeps, frames
-/// queued during a reconnect episode — this turns N syscalls into one; an
-/// idle link still sends each frame the moment it arrives.
-#[allow(clippy::too_many_arguments)]
-fn writer_loop(
-    me: ProcessId,
-    to: ProcessId,
-    addr: SocketAddr,
-    rx: Receiver<Outbound>,
-    live: Arc<Mutex<Option<TcpStream>>>,
-    stats: Arc<NetStats>,
-    shutdown: Arc<AtomicBool>,
-    config: TcpConfig,
-) {
-    let mut stream: Option<TcpStream> = None;
-    let mut ever_connected = false;
-    let mut batch: Vec<u8> = Vec::new();
-    let mut hello_scratch: Vec<u8> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        let first = match rx.recv_timeout(config.poll_interval) {
-            Ok(body) => body,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-
-        if stream.is_none() {
-            stream = connect_with_backoff(me, addr, &config, &shutdown, &mut hello_scratch);
-            if let Some(s) = &stream {
-                if ever_connected {
-                    if let Some(link) = stats.link(to) {
-                        link.record_reconnect();
-                    }
-                }
-                ever_connected = true;
-                *live.lock().unwrap() = s.try_clone().ok();
-            }
-        }
-
-        batch.clear();
-        append_frame(&mut batch, first.as_slice());
-        let mut frames: u64 = 1;
-        while batch.len() < config.max_batch_bytes {
-            match rx.try_recv() {
-                Ok(body) => {
-                    append_frame(&mut batch, body.as_slice());
-                    frames += 1;
-                }
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-            }
-        }
-
-        let Some(s) = stream.as_mut() else {
-            if let Some(link) = stats.link(to) {
-                link.record_send_drops(frames);
-            }
-            continue;
-        };
-        if s.write_all(&batch).and_then(|()| s.flush()).is_ok() {
-            if let Some(link) = stats.link(to) {
-                link.record_write(frames, batch.len() as u64);
-            }
-        } else {
-            // The whole batch is dropped with the connection; the
-            // reliability layer retransmits, so this costs latency only.
-            stream = None;
-            *live.lock().unwrap() = None;
-            if let Some(link) = stats.link(to) {
-                link.record_send_drops(frames);
-            }
-        }
-    }
-    if let Some(s) = stream {
-        let _ = s.shutdown(Shutdown::Both);
-    }
-}
-
-/// One reconnect episode: up to `max_connect_retries` attempts with
-/// exponentially growing delays, abandoned early on shutdown. A fresh
-/// connection immediately identifies itself with a `Hello` frame
-/// (encoded into the caller's reused scratch buffer).
-fn connect_with_backoff(
-    me: ProcessId,
-    addr: SocketAddr,
-    config: &TcpConfig,
-    shutdown: &AtomicBool,
-    scratch: &mut Vec<u8>,
-) -> Option<TcpStream> {
-    let mut delay = config.backoff_initial;
-    for attempt in 0..config.max_connect_retries {
-        if shutdown.load(Ordering::SeqCst) {
-            return None;
-        }
-        if attempt > 0 {
-            interruptible_sleep(delay, shutdown);
-            delay = (delay * 2).min(config.backoff_max);
-        }
-        let Ok(mut s) = TcpStream::connect(addr) else {
-            continue;
-        };
-        let _ = s.set_nodelay(true);
-        let hello = hello_frame(me, scratch);
-        if s.write_all(hello).and_then(|()| s.flush()).is_ok() {
-            return Some(s);
-        }
-    }
-    None
-}
-
-fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
-    let deadline = Instant::now() + total;
-    while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(2).min(total));
+        self.reactor.drop_node(self.core.id, SHUTDOWN_ACK_DEADLINE);
     }
 }

@@ -14,12 +14,25 @@
 //!   ─────────────────────────────────────
 //!   ActorRunner (causal-simnet)                timers, RNG, dispatch
 //!   ─────────────────────────────────────
-//!   ConnectionManager (this crate)             per-peer links, reconnect
+//!   ConnectionManager (this crate)             lazy per-peer links, reconnect
+//!   ─────────────────────────────────────
+//!   Reactor (this crate)                       sharded epoll event loops,
+//!                                              writev batches, pooled
+//!                                              zero-copy receive buffers
 //!   ─────────────────────────────────────
 //!   FrameHeader + WireEncode (causal-core)     length-prefixed binary codec
 //!   ─────────────────────────────────────
-//!   std::net::TcpStream                        one socket per directed pair
+//!   raw epoll/eventfd/writev syscalls          O(shards) threads, any group
 //! ```
+//!
+//! The event-driven engine replaces the original two-threads-per-directed-
+//! pair design: all sockets of all nodes sharing a [`Reactor`] are driven
+//! by `poller_shards` event-loop threads. Outbound frames queue per link
+//! and leave in vectored `writev` batches whose iovecs point straight at
+//! the encode-once bytes (a multicast body is one `Arc<[u8]>` shared by
+//! every peer's queue); inbound bytes land in pooled buffers and frames
+//! are **borrow-decoded in place** — the receive hot path never copies a
+//! frame body (see `NetSnapshot::frames_borrowed` / `frame_copies`).
 //!
 //! The transport is deliberately *lossy at the edges*: frames in flight
 //! when a connection drops are gone, and frames sent while a link is down
@@ -49,18 +62,26 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one module:
+// `sys`, the thin raw-syscall layer (epoll/eventfd/writev/non-blocking
+// connect). Everything above it is safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 mod cluster;
 mod config;
 pub mod conn;
 pub mod frame;
 mod node;
+mod reactor;
 pub mod stats;
+mod sys;
 
+pub use buffer::{BufferPool, Frame, RecvBuf};
 pub use cluster::LoopbackCluster;
 pub use config::TcpConfig;
-pub use conn::ConnectionManager;
-pub use node::{spawn_node, NodeHandle};
-pub use stats::{LinkSnapshot, NetSnapshot, NetStats};
+pub use conn::{ConnectionManager, InboundSink};
+pub use node::{spawn_node, spawn_node_on, NodeHandle};
+pub use reactor::Reactor;
+pub use stats::{LinkSnapshot, NetSnapshot, NetStats, ReactorSnapshot};

@@ -100,12 +100,100 @@ impl LinkSnapshot {
     }
 }
 
+/// Reactor-level counters: the event-loop's own syscall economy, shared
+/// by every node riding the same poller pool.
+///
+/// These are reactor-wide (one poller pool can drive many nodes), so a
+/// node's [`NetSnapshot`] carries a copy of the pool it runs on.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    epoll_waits: AtomicU64,
+    epoll_wakeups: AtomicU64,
+    wake_notifies: AtomicU64,
+    read_syscalls: AtomicU64,
+    writev_syscalls: AtomicU64,
+    accepts: AtomicU64,
+    connects_started: AtomicU64,
+    timer_fires: AtomicU64,
+}
+
+impl ReactorStats {
+    pub(crate) fn record_epoll_wait(&self, events: usize) {
+        self.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        if events > 0 {
+            self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_wake_notify(&self) {
+        self.wake_notifies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read_syscall(&self) {
+        self.read_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_writev_syscall(&self) {
+        self.writev_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_accept(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_connect_started(&self) {
+        self.connects_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timer_fire(&self) {
+        self.timer_fires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the reactor counters at one point in time.
+    pub fn snapshot(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            wake_notifies: self.wake_notifies.load(Ordering::Relaxed),
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
+            writev_syscalls: self.writev_syscalls.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            connects_started: self.connects_started.load(Ordering::Relaxed),
+            timer_fires: self.timer_fires.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a reactor's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// `epoll_wait` calls issued across all shards.
+    pub epoll_waits: u64,
+    /// `epoll_wait` returns that carried at least one event.
+    pub epoll_wakeups: u64,
+    /// Cross-thread `eventfd` wakes issued by senders toward shards.
+    pub wake_notifies: u64,
+    /// `read` syscalls issued on connections.
+    pub read_syscalls: u64,
+    /// `writev` syscalls issued on connections.
+    pub writev_syscalls: u64,
+    /// Connections accepted.
+    pub accepts: u64,
+    /// Outbound connection attempts started.
+    pub connects_started: u64,
+    /// Reactor timers fired (reconnect backoff, Hello deadlines).
+    pub timer_fires: u64,
+}
+
 /// Live counters for one node's transport: a [`LinkStats`] per peer plus
-/// decode failures (frame desync or undecodable message bodies).
+/// node-level receive-path and decode counters.
 #[derive(Debug)]
 pub struct NetStats {
     links: Vec<LinkStats>,
     decode_errors: AtomicU64,
+    bytes_read: AtomicU64,
+    frames_borrowed: AtomicU64,
+    frame_copies: AtomicU64,
 }
 
 impl NetStats {
@@ -114,6 +202,9 @@ impl NetStats {
         NetStats {
             links: (0..n).map(|_| LinkStats::default()).collect(),
             decode_errors: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            frames_borrowed: AtomicU64::new(0),
+            frame_copies: AtomicU64::new(0),
         }
     }
 
@@ -126,8 +217,19 @@ impl NetStats {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Copies all counters at one point in time.
-    pub fn snapshot(&self) -> NetSnapshot {
+    pub(crate) fn record_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One frame handed to the sink as a borrowed view of the pooled
+    /// receive buffer — the zero-copy path.
+    pub(crate) fn record_frame_borrowed(&self) {
+        self.frames_borrowed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies all counters at one point in time. `reactor` is the pool
+    /// this node's sockets run on.
+    pub fn snapshot_with(&self, reactor: ReactorSnapshot) -> NetSnapshot {
         NetSnapshot {
             links: self
                 .links
@@ -145,7 +247,16 @@ impl NetStats {
                 })
                 .collect(),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            frames_borrowed: self.frames_borrowed.load(Ordering::Relaxed),
+            frame_copies: self.frame_copies.load(Ordering::Relaxed),
+            reactor,
         }
+    }
+
+    /// Copies all counters with no attached reactor (unit tests).
+    pub fn snapshot(&self) -> NetSnapshot {
+        self.snapshot_with(ReactorSnapshot::default())
     }
 }
 
@@ -157,6 +268,19 @@ pub struct NetSnapshot {
     pub links: Vec<LinkSnapshot>,
     /// Frames or message bodies that failed to decode.
     pub decode_errors: u64,
+    /// Socket bytes read for this node (frame headers included).
+    pub bytes_read: u64,
+    /// Frames delivered to the decode sink as borrowed views of pooled
+    /// receive buffers — the zero-copy receive path.
+    pub frames_borrowed: u64,
+    /// Frame bodies copied out of the receive path into owned buffers.
+    /// The reactor transport never does this; the counter exists so the
+    /// zero-copy property is asserted, not assumed (see
+    /// `tests/tcp_cluster.rs`).
+    pub frame_copies: u64,
+    /// Counters of the reactor (poller pool) this node's sockets run on.
+    /// Reactor-wide: nodes sharing a pool see the same numbers.
+    pub reactor: ReactorSnapshot,
 }
 
 impl NetSnapshot {

@@ -1,0 +1,586 @@
+//! Raw Linux syscall bindings for the reactor: `epoll`, `eventfd`,
+//! vectored writes, and non-blocking `connect`.
+//!
+//! The build environment is offline — no `libc`/`mio`/`nix` crates — so
+//! the handful of kernel interfaces the event loop needs are declared
+//! here against the C library every Rust binary on Linux already links.
+//! This is the **only** module in the crate allowed to use `unsafe`; it
+//! exposes a safe, owned-fd API (RAII wrappers close on drop) and every
+//! other module stays `#![deny(unsafe_code)]`-clean.
+//!
+//! Only Linux is supported, matching the roadmap target ("epoll via
+//! std-only raw syscalls"); the crate fails to compile elsewhere, which
+//! is preferable to silently falling back to thread-per-pair.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// C library imports
+// ---------------------------------------------------------------------------
+
+type CInt = i32;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+// Safety: these signatures mirror the glibc/musl prototypes for the
+// corresponding Linux system calls on 64-bit targets.
+extern "C" {
+    fn epoll_create1(flags: CInt) -> CInt;
+    fn epoll_ctl(epfd: CInt, op: CInt, fd: CInt, event: *mut EpollEvent) -> CInt;
+    fn epoll_wait(epfd: CInt, events: *mut EpollEvent, maxevents: CInt, timeout: CInt) -> CInt;
+    fn eventfd(initval: u32, flags: CInt) -> CInt;
+    fn read(fd: CInt, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: CInt, buf: *const u8, count: usize) -> isize;
+    fn writev(fd: CInt, iov: *const IoVec, iovcnt: CInt) -> isize;
+    fn socket(domain: CInt, ty: CInt, protocol: CInt) -> CInt;
+    fn connect(fd: CInt, addr: *const u8, addrlen: u32) -> CInt;
+    fn getsockopt(fd: CInt, level: CInt, optname: CInt, optval: *mut u8, optlen: *mut u32) -> CInt;
+}
+
+const EPOLL_CLOEXEC: CInt = 0o2000000;
+const EPOLL_CTL_ADD: CInt = 1;
+const EPOLL_CTL_DEL: CInt = 2;
+const EPOLL_CTL_MOD: CInt = 3;
+
+/// Readable interest / readiness (`EPOLLIN`).
+pub const EV_READ: u32 = 0x001;
+/// Writable interest / readiness (`EPOLLOUT`).
+pub const EV_WRITE: u32 = 0x004;
+/// Error readiness (`EPOLLERR`; always reported, never requested).
+pub const EV_ERROR: u32 = 0x008;
+/// Hangup readiness (`EPOLLHUP`; always reported, never requested).
+pub const EV_HUP: u32 = 0x010;
+
+const EFD_CLOEXEC: CInt = 0o2000000;
+const EFD_NONBLOCK: CInt = 0o4000;
+
+const AF_INET: CInt = 2;
+const AF_INET6: CInt = 10;
+const SOCK_STREAM: CInt = 1;
+const SOCK_NONBLOCK: CInt = 0o4000;
+const SOCK_CLOEXEC: CInt = 0o2000000;
+const SOL_SOCKET: CInt = 1;
+const SO_ERROR: CInt = 4;
+const EINPROGRESS: i32 = 115;
+
+fn last_err() -> io::Error {
+    io::Error::last_os_error()
+}
+
+fn cvt(ret: CInt) -> io::Result<CInt> {
+    if ret < 0 {
+        Err(last_err())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll
+// ---------------------------------------------------------------------------
+
+/// One readiness notification out of [`Epoll::wait`].
+///
+/// The layout matches the kernel's `struct epoll_event` on x86-64 /
+/// aarch64 Linux (packed: a `u32` event mask followed immediately by a
+/// `u64` caller token with no padding).
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    events: u32,
+    token: u64,
+}
+
+impl EpollEvent {
+    /// Readiness bits (`EV_READ` / `EV_WRITE` / `EV_ERROR` / `EV_HUP`).
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token the fd was registered with.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpollEvent")
+            .field("events", &self.events())
+            .field("token", &self.token())
+            .finish()
+    }
+}
+
+/// An owned epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a fresh epoll instance (`epoll_create1(EPOLL_CLOEXEC)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel error.
+    pub fn new() -> io::Result<Self> {
+        // Safety: no pointers involved.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: CInt, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            token,
+        };
+        // Safety: `ev` is a valid epoll_event for the duration of the call;
+        // DEL ignores the pointer but a non-null one is valid for every op.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest mask and caller token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel error (e.g. `EEXIST`).
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest mask of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel error (e.g. `ENOENT`).
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters `fd`. Errors are swallowed — deregistration races
+    /// with close are benign (the kernel drops closed fds itself).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks for readiness, filling `events` from the front, for at most
+    /// `timeout` (`None` blocks indefinitely). Returns how many entries
+    /// were filled; `0` means the timeout elapsed. `EINTR` is retried.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors other than `EINTR`.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: CInt = match timeout {
+            None => -1,
+            // Round up so a 100µs timer does not busy-spin at timeout 0.
+            Some(d) => d.as_millis().saturating_add(1).min(i32::MAX as u128) as CInt,
+        };
+        let cap = events.len().min(i32::MAX as usize) as CInt;
+        loop {
+            // Safety: `events` is valid writable memory for `cap` entries.
+            let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), cap, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = last_err();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventfd
+// ---------------------------------------------------------------------------
+
+/// An owned non-blocking eventfd used to wake a poller shard from other
+/// threads. Closed on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a non-blocking eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel error.
+    pub fn new() -> io::Result<Self> {
+        // Safety: no pointers involved.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes the poller: adds 1 to the counter. A full counter
+    /// (`WouldBlock`) already guarantees a pending wake, so all errors
+    /// are ignored.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        // Safety: writes 8 bytes from a valid local.
+        let _ = unsafe { write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+    }
+
+    /// Drains the counter so the next `notify` re-arms readiness.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // Safety: reads at most 8 bytes into a valid local.
+        let _ = unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather write and raw read
+// ---------------------------------------------------------------------------
+
+/// Upper bound on iovecs per `writev` call (`IOV_MAX` on Linux is 1024).
+pub const MAX_IOVECS: usize = 1024;
+
+/// A borrowed write segment for [`writev_fd`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriteSlice<'a>(&'a [u8]);
+
+impl<'a> WriteSlice<'a> {
+    /// Wraps one buffer as a vectored-write segment.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WriteSlice(bytes)
+    }
+}
+
+/// One vectored write: hands up to [`MAX_IOVECS`] segments to the kernel
+/// in a single `writev` syscall and returns how many bytes were accepted
+/// (possibly fewer than the total — the caller resumes from there).
+///
+/// # Errors
+///
+/// Propagates the kernel error; `WouldBlock` means the socket buffer is
+/// full and the caller should wait for writability.
+pub fn writev_fd(fd: RawFd, segs: &[WriteSlice<'_>]) -> io::Result<usize> {
+    let mut iov = [IoVec {
+        base: std::ptr::null(),
+        len: 0,
+    }; MAX_IOVECS];
+    let n = segs.len().min(MAX_IOVECS);
+    for (slot, seg) in iov.iter_mut().zip(segs.iter().take(n)) {
+        slot.base = seg.0.as_ptr();
+        slot.len = seg.0.len();
+    }
+    loop {
+        // Safety: `iov[..n]` points at live borrowed slices for the
+        // duration of the call.
+        let written = unsafe { writev(fd, iov.as_ptr(), n as CInt) };
+        if written >= 0 {
+            return Ok(written as usize);
+        }
+        let err = last_err();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// One raw read into `buf`. `Ok(0)` is end-of-stream.
+///
+/// # Errors
+///
+/// Propagates the kernel error; `WouldBlock` means no data is ready.
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    loop {
+        // Safety: `buf` is valid writable memory of the given length.
+        let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = last_err();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+fn close_fd(fd: RawFd) {
+    extern "C" {
+        fn close(fd: CInt) -> CInt;
+    }
+    // Safety: we own the fd; double-closes are prevented by RAII wrappers.
+    let _ = unsafe { close(fd) };
+}
+
+// ---------------------------------------------------------------------------
+// Non-blocking connect
+// ---------------------------------------------------------------------------
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: [u8; 4],
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// Outcome of [`connect_nonblocking`].
+#[derive(Debug)]
+pub enum ConnectStart {
+    /// The connection completed immediately (possible on loopback).
+    Ready(TcpStream),
+    /// The connection is in flight; wait for writability, then call
+    /// [`take_socket_error`] to learn the outcome.
+    Pending(TcpStream),
+}
+
+/// Starts a TCP connection without blocking: creates a non-blocking
+/// socket and issues `connect`, returning the in-flight (or already
+/// established) stream. The returned [`TcpStream`] owns the fd and is in
+/// non-blocking mode.
+///
+/// # Errors
+///
+/// Propagates socket-creation failures and immediate connect errors
+/// (e.g. `ENETUNREACH`).
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<ConnectStart> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // Safety: no pointers involved.
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // Safety: `fd` is a fresh socket we own; `TcpStream` takes ownership
+    // and closes it on drop (including on the error paths below).
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port_be: v4.port().to_be(),
+                addr_be: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            // Safety: `sa` is a properly laid out sockaddr_in.
+            unsafe {
+                connect(
+                    fd,
+                    (&sa as *const SockAddrIn).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port_be: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            // Safety: `sa` is a properly laid out sockaddr_in6.
+            unsafe {
+                connect(
+                    fd,
+                    (&sa as *const SockAddrIn6).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc == 0 {
+        return Ok(ConnectStart::Ready(stream));
+    }
+    let err = last_err();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        Ok(ConnectStart::Pending(stream))
+    } else {
+        Err(err)
+    }
+}
+
+/// Reads and clears the pending socket error (`SO_ERROR`) — the outcome
+/// of an in-flight non-blocking connect once the socket reports writable.
+///
+/// # Errors
+///
+/// The stored socket error, if any, or the `getsockopt` failure itself.
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<()> {
+    let mut err: i32 = 0;
+    let mut len: u32 = 4;
+    // Safety: `err` is 4 writable bytes, `len` says so.
+    cvt(unsafe {
+        getsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_ERROR,
+            (&mut err as *mut i32).cast(),
+            &mut len,
+        )
+    })?;
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ef = EventFd::new().unwrap();
+        ep.add(ef.raw(), EV_READ, 77).unwrap();
+
+        let mut events = [EpollEvent::default(); 4];
+        // Nothing pending: times out empty.
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        ef.notify();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 77);
+        assert!(events[0].events() & EV_READ != 0);
+
+        // Drain re-arms: the next wait times out again.
+        ef.drain();
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_and_writev_delivers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        let stream = match connect_nonblocking(&addr).unwrap() {
+            ConnectStart::Ready(s) => s,
+            ConnectStart::Pending(s) => {
+                ep.add(s.as_raw_fd(), EV_WRITE, 1).unwrap();
+                let mut events = [EpollEvent::default(); 4];
+                let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                assert!(n >= 1, "connect never became writable");
+                ep.delete(s.as_raw_fd());
+                take_socket_error(&s).unwrap();
+                s
+            }
+        };
+        let (mut peer, _) = listener.accept().unwrap();
+
+        let written = writev_fd(
+            stream.as_raw_fd(),
+            &[
+                WriteSlice::new(b"hel"),
+                WriteSlice::new(b""),
+                WriteSlice::new(b"lo, writev"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(written, 13);
+        let mut got = [0u8; 13];
+        peer.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello, writev");
+    }
+
+    #[test]
+    fn connect_to_dead_port_reports_error_via_so_error() {
+        // Bind then drop to get a port that refuses connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        match connect_nonblocking(&addr) {
+            Err(_) => {} // immediate refusal is fine
+            Ok(ConnectStart::Ready(_)) => panic!("connected to a dead port"),
+            Ok(ConnectStart::Pending(s)) => {
+                let ep = Epoll::new().unwrap();
+                ep.add(s.as_raw_fd(), EV_WRITE, 0).unwrap();
+                let mut events = [EpollEvent::default(); 4];
+                let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                assert!(n >= 1);
+                assert!(take_socket_error(&s).is_err(), "SO_ERROR must surface");
+            }
+        }
+    }
+
+    #[test]
+    fn read_fd_sees_stream_bytes_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.write_all(b"abc").unwrap();
+        drop(peer);
+
+        client.set_nonblocking(true).unwrap();
+        let mut buf = [0u8; 16];
+        // Poll until the bytes arrive.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let n = loop {
+            match read_fd(client.as_raw_fd(), &mut buf) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+        assert_eq!(&buf[..n], b"abc");
+        let n = loop {
+            match read_fd(client.as_raw_fd(), &mut buf) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+        assert_eq!(n, 0, "EOF reads as 0");
+    }
+}

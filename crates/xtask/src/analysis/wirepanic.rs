@@ -36,6 +36,9 @@ pub const ENTRY_FILES: &[&str] = &[
     "crates/core/src/wire.rs",
     "crates/core/src/delivery/pcbcast/codec.rs",
     "crates/net/src/frame.rs",
+    // The reactor's zero-copy receive path: `RecvBuf::next_frame`
+    // borrow-decodes frames straight out of pooled socket buffers.
+    "crates/net/src/buffer.rs",
 ];
 
 /// Macros that panic (or abort the process) when hit.

@@ -182,5 +182,202 @@ fn run_scenario(seed: u64) -> u64 {
         "no write batching observed: {total_frames} frames in {total_writes} writes"
     );
 
+    // The receive hot path is zero-copy: every socket frame reached the
+    // decoder as a borrowed view of a pooled buffer (frames_borrowed
+    // matches the per-link receive counts exactly), and nothing was ever
+    // copied out into an owned body.
+    for (i, (_, stats)) in done.iter().enumerate() {
+        assert_eq!(
+            stats.frames_borrowed,
+            stats.total_recv(),
+            "replica {i}: socket frames must all arrive borrow-decoded"
+        );
+        assert_eq!(stats.frame_copies, 0, "replica {i}: receive path copied");
+        assert!(stats.bytes_read > 0, "replica {i}: no socket bytes counted");
+    }
+
+    // Reactor-era syscall counters are live: the shared poller pool ran
+    // epoll_wait, accepted every inbound connection, and moved all
+    // traffic through read + vectored writev syscalls.
+    let reactor = done[0].1.reactor;
+    assert!(reactor.epoll_waits > 0, "no epoll_wait recorded");
+    assert!(reactor.epoll_wakeups > 0, "no epoll wakeups recorded");
+    assert!(reactor.accepts >= (N * (N - 1)) as u64, "{reactor:?}");
+    assert!(
+        reactor.connects_started >= (N * (N - 1)) as u64,
+        "{reactor:?}"
+    );
+    assert!(
+        reactor.read_syscalls > 0 && reactor.writev_syscalls > 0,
+        "{reactor:?}"
+    );
+
     reconnects_01
+}
+
+/// Satellite guarantee of the reactor rewrite: tearing a node down is
+/// prompt even while its transport is mid-reconnect against a dead peer
+/// — the shard abandons the connect episode instead of sleeping through
+/// the backoff schedule, and every reactor thread joins on drop.
+#[test]
+fn node_shutdown_is_prompt_even_mid_connect() {
+    use causal_broadcast::net::spawn_node;
+    use causal_broadcast::simnet::{Actor, Context};
+    use std::net::TcpListener;
+
+    /// Fires a burst at a peer that will never answer.
+    struct Talker;
+    impl Actor for Talker {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for k in 0..64 {
+                ctx.send(ProcessId::new(1), k);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: u64) {}
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let me_addr = listener.local_addr().unwrap();
+    // A dead peer: bind to learn a free port, then drop the listener so
+    // every connect attempt is refused and the link sits in its backoff
+    // episode (default schedule: 12 attempts over several seconds).
+    let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead_addr = dead.local_addr().unwrap();
+    drop(dead);
+
+    let handle = spawn_node(
+        Talker,
+        ProcessId::new(0),
+        listener,
+        &[me_addr, dead_addr],
+        7,
+        TcpConfig::default(),
+    )
+    .unwrap();
+
+    // Let the connect episode get going before pulling the plug.
+    std::thread::sleep(Duration::from_millis(60));
+    handle.request_stop();
+    let started = Instant::now();
+    let (_actor, stats) = handle.join();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shutdown took {elapsed:?}; reconnect backoff must not delay teardown"
+    );
+    // The episode really was in flight when we tore down.
+    assert!(stats.reactor.connects_started >= 1, "{:?}", stats.reactor);
+    assert_eq!(stats.links[1].msgs_sent, 64);
+}
+
+/// Many-peer smoke test for the sharded reactor: 64 PC-broadcast nodes
+/// (k-ary routed overlay, so each member talks only to its tree
+/// neighbours) on one shared poller pool. The old transport would pin
+/// two threads per directed pair — ~8k threads at this size; the
+/// reactor runs the whole cluster on `poller_shards` event loops plus
+/// one driver per node, which the test asserts via `/proc`.
+///
+/// Debug builds skip it (64 nodes of unoptimized protocol stack on one
+/// core overshoot the suite budget); release CI runs it.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: 64-node cluster")]
+fn many_peer_pc_engine_smoke() {
+    use causal_broadcast::core::node::PcNode;
+    use causal_broadcast::simnet::SimDuration;
+
+    const M: usize = 64;
+
+    /// Sums delivered payloads and publishes the count for polling.
+    struct Sum {
+        value: i64,
+        applied: Arc<AtomicU64>,
+    }
+    impl App for Sum {
+        type Op = i64;
+        fn on_start(&mut self, _me: ProcessId, out: &mut Emitter<i64>) {
+            out.osend(1, OccursAfter::none());
+        }
+        fn on_deliver(&mut self, env: Delivered<'_, i64>, _out: &mut Emitter<i64>) {
+            self.value += *env.payload;
+            self.applied.fetch_add(1, Ordering::SeqCst);
+        }
+        fn classify(&self, _op: &i64) -> OpClass {
+            OpClass::Commutative
+        }
+    }
+
+    let applied: Vec<Arc<AtomicU64>> = (0..M).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let nodes: Vec<PcNode<Sum>> = (0..M)
+        .map(|i| {
+            PcNode::new(
+                ProcessId::new(i as u32),
+                M,
+                Sum {
+                    value: 0,
+                    applied: Arc::clone(&applied[i]),
+                },
+            )
+            // The simulator-scale 5ms retransmit sweep is too hot for 64
+            // wall-clock nodes sharing one box; acks still prune quickly.
+            .with_retransmit_every(SimDuration::from_millis(100))
+            .with_tracing()
+        })
+        .collect();
+
+    let cluster = LoopbackCluster::spawn(nodes, 77, TcpConfig::default()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while applied.iter().any(|a| a.load(Ordering::SeqCst) < M as u64) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let counts: Vec<u64> = applied.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+    assert!(
+        counts.iter().all(|&c| c >= M as u64),
+        "not all {M} broadcasts delivered everywhere: min={:?}",
+        counts.iter().min()
+    );
+
+    // Thread economy: O(drivers + shards), not O(n^2) socket threads.
+    let threads = proc_thread_count();
+    assert!(
+        threads < M + 40,
+        "{threads} threads for a {M}-node cluster; reactor sharing is broken"
+    );
+
+    let done = cluster.shutdown();
+    let values: Vec<i64> = done.iter().map(|(n, _)| n.app().value).collect();
+    assert!(
+        check::replicas_agree(&values),
+        "replica values diverged: {values:?}"
+    );
+    assert_eq!(values[0], M as i64);
+
+    // Full trace-oracle validation of the real-network run: exactly-once,
+    // dependency order, delivered-set agreement across all 64 members.
+    let trace = Trace::new(
+        done.iter()
+            .filter_map(|(n, _)| n.trace().cloned())
+            .collect(),
+    );
+    let report = check_trace(&trace, &OracleConfig::default())
+        .unwrap_or_else(|v| panic!("oracle violation: {v}"));
+    assert_eq!(report.members, M);
+    assert_eq!(report.deliveries, M * M);
+
+    // Zero-copy holds at scale too.
+    for (i, (_, stats)) in done.iter().enumerate() {
+        assert_eq!(stats.frames_borrowed, stats.total_recv(), "replica {i}");
+        assert_eq!(stats.frame_copies, 0, "replica {i}");
+    }
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn proc_thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
