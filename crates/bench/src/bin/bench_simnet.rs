@@ -1,0 +1,309 @@
+//! Simulator-core throughput: the bucketed calendar-queue engine
+//! (`causal_simnet::Simulation`) against the preserved heap-based core
+//! (`causal_simnet::reference::Simulation`) on an identical gossip
+//! workload at large group sizes.
+//!
+//! Emits `BENCH_simnet.json` (committed at the workspace root) with one
+//! row per group size: events processed, wall-clock seconds, events/sec,
+//! peak in-flight messages, and the process peak RSS (`VmHWM`) after each
+//! core's run. The final row is the headline: 10,000 members, ~3.75M
+//! events, with the speedup ratio of the bucketed core over the heap
+//! core.
+//!
+//! The workload interleaves ~1 KiB gossip envelopes (a CBCAST vector
+//! timestamp at moderate group sizes) with fast per-member heartbeat
+//! timers, the mix the vsync stack produces. The heap core stores
+//! payloads inline in its `BinaryHeap`, so every sift moves the full
+//! envelope — including for payload-free timer events, whose enum slot
+//! is envelope-sized; the bucketed core keeps payloads in a message
+//! arena and moves 8-byte tickets. Both cores draw the RNG identically,
+//! so the run doubles as a determinism check: metrics, final clocks,
+//! and event counts must match exactly.
+//!
+//! `VmHWM` is a process-wide high-water mark and only ever grows, so the
+//! bucketed core runs **first**: its reading is exact, while the heap
+//! core's reading is a lower bound (it is the larger of the two in
+//! practice, so the bound is tight).
+//!
+//! Usage: `bench_simnet [--quick] [--out-dir DIR]`. `--quick` shrinks
+//! the sweep for CI smoke runs; full mode is the committed baseline.
+
+use causal_bench::json::{array, JsonObject};
+use causal_clocks::ProcessId;
+use causal_simnet::{reference, Actor, Context, LatencyModel, NetConfig, SimDuration, Simulation};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Sweep configuration; `QUICK` is the CI smoke shape.
+struct Cfg {
+    /// Group sizes; the last entry is the headline comparison.
+    sizes: &'static [usize],
+    /// Gossip rounds per member.
+    rounds: u64,
+    /// Timing repetitions (best-of).
+    reps: usize,
+}
+
+const FULL: Cfg = Cfg {
+    sizes: &[100, 1000, 10_000],
+    rounds: 25,
+    reps: 3,
+};
+
+const QUICK: Cfg = Cfg {
+    sizes: &[100, 500],
+    rounds: 4,
+    reps: 1,
+};
+
+/// Ring-offset fan-out per gossip round; with 10k members and a fat
+/// latency tail this keeps six figures of messages in flight, which is
+/// exactly the population the event queue must index efficiently.
+const PEER_OFFSETS: [usize; 4] = [1, 17, 251, 4099];
+
+/// Stand-in protocol envelope: id, round, and a 1000-byte body — the
+/// size of a CBCAST envelope carrying a vector timestamp at n≈125
+/// (at the full 10,000 members a real VT envelope would be 80 KiB; this
+/// keeps the committed run's footprint sane while still charging the
+/// heap core for moving payloads through every sift).
+#[derive(Clone)]
+struct Envelope {
+    #[allow(dead_code)]
+    origin: u32,
+    #[allow(dead_code)]
+    round: u64,
+    #[allow(dead_code)]
+    body: [u64; 125],
+}
+
+/// Timer tags at or above this value are heartbeats; below, gossip
+/// rounds.
+const HB_TAG: u64 = 1 << 32;
+
+/// Heartbeat period. Ten heartbeats per gossip round, mirroring the
+/// vsync stack's failure-detection timers ticking much faster than the
+/// data path.
+const HB_PERIOD_MICROS: u64 = 100;
+
+/// Each member gossips to four ring peers every millisecond for a fixed
+/// number of rounds, with start times staggered so traffic overlaps,
+/// and runs a fast heartbeat timer the whole while. Heartbeats carry no
+/// payload — but the heap core's event enum is envelope-sized for
+/// *every* variant, so it pays full payload-width heap sifts even for
+/// them, which is precisely the overhead the arena refactor removed.
+struct Gossip {
+    rounds: u64,
+    heartbeats_left: u64,
+    received: u64,
+}
+
+impl Actor for Gossip {
+    type Msg = Envelope;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Envelope>) {
+        let stagger = 100 + 50 * u64::from(ctx.me().as_u32() % 128);
+        ctx.set_timer(SimDuration::from_micros(stagger), 0);
+        let hb_stagger = 1 + u64::from(ctx.me().as_u32()) % HB_PERIOD_MICROS;
+        ctx.set_timer(SimDuration::from_micros(hb_stagger), HB_TAG);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Envelope>, _from: ProcessId, _msg: Envelope) {
+        self.received += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Envelope>, tag: u64) {
+        if tag >= HB_TAG {
+            self.heartbeats_left -= 1;
+            if self.heartbeats_left > 0 {
+                ctx.set_timer(SimDuration::from_micros(HB_PERIOD_MICROS), HB_TAG);
+            }
+            return;
+        }
+        let round = tag;
+        let n = ctx.group_size();
+        let me = ctx.me().as_usize();
+        for off in PEER_OFFSETS {
+            let peer = ProcessId::new(((me + off) % n) as u32);
+            ctx.send(
+                peer,
+                Envelope {
+                    origin: ctx.me().as_u32(),
+                    round,
+                    body: [round; 125],
+                },
+            );
+        }
+        if round + 1 < self.rounds {
+            ctx.set_timer(SimDuration::from_millis(1), round + 1);
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(args.next().expect("--out-dir needs a value"));
+            }
+            other => panic!("unknown argument {other:?} (expected --quick / --out-dir DIR)"),
+        }
+    }
+    let cfg = if quick { QUICK } else { FULL };
+    let mode = if quick { "quick" } else { "full" };
+
+    println!("bench_simnet ({mode} mode)");
+    println!();
+    println!(
+        "  {:>6}  {:>10} {:>12} {:>12} {:>8}  {:>10}",
+        "n", "events", "bucketed/s", "heap/s", "ratio", "in-flight"
+    );
+
+    let rows: Vec<Row> = cfg.sizes.iter().map(|&n| compare_size(&cfg, n)).collect();
+    for r in &rows {
+        println!(
+            "  {:>6}  {:>10} {:>12.0} {:>12.0} {:>7.2}x  {:>10}",
+            r.n, r.events, r.bucketed_rate, r.heap_rate, r.ratio, r.peak_in_flight
+        );
+    }
+
+    write_json(&out_dir, mode, &rows);
+    println!();
+    println!("wrote {}", out_dir.join("BENCH_simnet.json").display());
+}
+
+struct Row {
+    n: usize,
+    events: u64,
+    peak_in_flight: u64,
+    bucketed_secs: f64,
+    bucketed_rate: f64,
+    bucketed_peak_rss_kib: u64,
+    heap_secs: f64,
+    heap_rate: f64,
+    heap_peak_rss_kib: u64,
+    ratio: f64,
+}
+
+fn mk_nodes(cfg: &Cfg, n: usize) -> Vec<Gossip> {
+    (0..n)
+        .map(|_| Gossip {
+            rounds: cfg.rounds,
+            // Heartbeats span the same simulated window as the gossip.
+            heartbeats_left: cfg.rounds * 1000 / HB_PERIOD_MICROS,
+            received: 0,
+        })
+        .collect()
+}
+
+fn net() -> NetConfig {
+    // Fault-free, with a fat uniform latency tail so each message lives
+    // for many gossip rounds and the in-flight population stays in the
+    // hundreds of thousands at the headline size.
+    NetConfig::with_latency(LatencyModel::uniform_micros(200, 16_000))
+}
+
+const SEED: u64 = 4242;
+
+fn compare_size(cfg: &Cfg, n: usize) -> Row {
+    let expected_received = (n as u64) * cfg.rounds * PEER_OFFSETS.len() as u64;
+
+    // Bucketed core first: VmHWM only grows, so this reading is exact.
+    let mut bucketed_secs = f64::INFINITY;
+    let mut fast = None;
+    for _ in 0..cfg.reps {
+        let mut sim = Simulation::new(mk_nodes(cfg, n), net(), SEED);
+        let start = Instant::now();
+        sim.run_to_quiescence();
+        bucketed_secs = bucketed_secs.min(start.elapsed().as_secs_f64());
+        fast = Some(sim);
+    }
+    let fast = fast.expect("reps >= 1");
+    let bucketed_peak_rss_kib = peak_rss_kib();
+    let total: u64 = fast.nodes().iter().map(|g| g.received).sum();
+    assert_eq!(total, expected_received, "bucketed core lost messages");
+
+    let mut heap_secs = f64::INFINITY;
+    let mut oracle = None;
+    for _ in 0..cfg.reps {
+        let mut sim = reference::Simulation::new(mk_nodes(cfg, n), net(), SEED);
+        let start = Instant::now();
+        sim.run_to_quiescence();
+        heap_secs = heap_secs.min(start.elapsed().as_secs_f64());
+        oracle = Some(sim);
+    }
+    let oracle = oracle.expect("reps >= 1");
+    let heap_peak_rss_kib = peak_rss_kib();
+
+    // Determinism across cores is part of the benchmark contract.
+    assert_eq!(fast.metrics(), oracle.metrics(), "metrics diverged");
+    assert_eq!(fast.now(), oracle.now(), "final clocks diverged");
+    assert_eq!(
+        fast.events_processed(),
+        oracle.events_processed(),
+        "event counts diverged"
+    );
+
+    Row {
+        n,
+        events: fast.events_processed(),
+        peak_in_flight: fast.metrics().peak_in_flight,
+        bucketed_secs,
+        bucketed_rate: fast.events_processed() as f64 / bucketed_secs,
+        bucketed_peak_rss_kib,
+        heap_secs,
+        heap_rate: oracle.events_processed() as f64 / heap_secs,
+        heap_peak_rss_kib,
+        ratio: heap_secs / bucketed_secs,
+    }
+}
+
+/// Process peak resident set size in KiB, from `/proc/self/status`
+/// (`VmHWM`). Returns 0 on platforms without procfs.
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn write_json(out_dir: &Path, mode: &str, rows: &[Row]) {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .u64("members", r.n as u64)
+                .u64("events", r.events)
+                .u64("peak_in_flight", r.peak_in_flight)
+                .f64("bucketed_secs", r.bucketed_secs)
+                .f64("bucketed_events_per_sec", r.bucketed_rate)
+                .u64("bucketed_peak_rss_kib", r.bucketed_peak_rss_kib)
+                .f64("heap_secs", r.heap_secs)
+                .f64("heap_events_per_sec", r.heap_rate)
+                .u64("heap_peak_rss_kib", r.heap_peak_rss_kib)
+                .f64("speedup", r.ratio)
+                .render(2)
+        })
+        .collect();
+    let headline = rows.last().expect("at least one size");
+    let doc = JsonObject::new()
+        .str("bench", "simnet_core")
+        .str("mode", mode)
+        .str(
+            "workload",
+            "ring gossip, 4 peers/round, ~1KiB envelopes, 100us heartbeats, uniform 0.2-16ms latency",
+        )
+        .u64("seed", SEED)
+        .u64("headline_members", headline.n as u64)
+        .f64("headline_speedup", headline.ratio)
+        .raw("sizes", array(&rendered, 1));
+    let text = format!("{}\n", doc.render(0));
+    std::fs::write(out_dir.join("BENCH_simnet.json"), text).expect("write BENCH_simnet.json");
+}

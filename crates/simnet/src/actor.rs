@@ -89,14 +89,38 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M: Clone> Context<'a, M> {
-    /// Creates a context. Runtimes call this; actors only consume it.
+    /// Creates a context with a fresh command buffer. Runtimes call this;
+    /// actors only consume it.
     pub fn new(me: ProcessId, now: SimTime, group_size: usize, rng: &'a mut StdRng) -> Self {
+        Context::with_scratch(me, now, group_size, rng, Vec::new())
+    }
+
+    /// Creates a context that collects commands into `scratch`, a buffer
+    /// recycled by the runtime. [`take_commands`](Self::take_commands)
+    /// returns the same buffer (drained by the runtime, handed back to the
+    /// next callback), so a steady-state run performs no per-step command
+    /// allocation — the buffer grows to the largest command burst once.
+    ///
+    /// `scratch` must be empty; leftover commands from a previous callback
+    /// would be replayed as this node's.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `scratch` is non-empty.
+    pub fn with_scratch(
+        me: ProcessId,
+        now: SimTime,
+        group_size: usize,
+        rng: &'a mut StdRng,
+        scratch: Vec<Command<M>>,
+    ) -> Self {
+        debug_assert!(scratch.is_empty(), "scratch buffer handed back dirty");
         Context {
             me,
             now,
             group_size,
             rng,
-            commands: Vec::new(),
+            commands: scratch,
         }
     }
 
@@ -225,6 +249,24 @@ mod tests {
         let mut ctx: Context<'_, u8> = Context::new(ProcessId::new(0), SimTime::ZERO, 1, &mut rng);
         ctx.broadcast(5); // sole member: no other nodes
         assert!(ctx.take_commands().is_empty());
+    }
+
+    #[test]
+    fn scratch_buffer_capacity_is_recycled() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch: Vec<Command<u8>> = Vec::new();
+        let mut peak_cap = 0;
+        for _ in 0..100 {
+            let mut ctx =
+                Context::with_scratch(ProcessId::new(0), SimTime::ZERO, 4, &mut rng, scratch);
+            ctx.broadcast(1);
+            ctx.set_timer(SimDuration::from_micros(5), 0);
+            scratch = ctx.take_commands();
+            scratch.clear();
+            peak_cap = peak_cap.max(scratch.capacity());
+            assert_eq!(scratch.capacity(), peak_cap, "capacity must not shrink");
+        }
+        assert!(peak_cap >= 2);
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! The internal event queue of the discrete-event engine.
+//! The internal event representation of the discrete-event engine.
+//!
+//! Events are small `Copy` records: message payloads live in the
+//! [`MsgArena`](crate::arena) and events carry only the 8-byte ticket, so
+//! moving an event between queue tiers (wheel bucket, overflow heap,
+//! sort scratch) is a fixed-size memcpy regardless of the message type.
 
+use crate::arena::MsgRef;
 use crate::SimTime;
 use causal_clocks::ProcessId;
 use std::cmp::Ordering;
 
 /// What happens when an event fires.
-#[derive(Debug, Clone)]
-pub(crate) enum EventKind<M> {
-    /// The network delivers `msg` from `from` to `to`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// The network delivers the arena payload `msg` from `from` to `to`.
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        msg: MsgRef,
         sent_at: SimTime,
     },
     /// A timer armed by `node` fires with `tag`.
@@ -20,32 +26,43 @@ pub(crate) enum EventKind<M> {
 
 /// An event scheduled at `at`. `seq` breaks ties deterministically in
 /// scheduling order, giving the engine a stable total order of events.
-#[derive(Debug, Clone)]
-pub(crate) struct Scheduled<M> {
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Scheduled {
     pub at: SimTime,
     pub seq: u64,
-    pub kind: EventKind<M>,
+    pub kind: EventKind,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl Scheduled {
+    /// The total-order key: earliest first, ties broken by scheduling
+    /// sequence. Every queue tier orders by exactly this key, which is
+    /// what makes the bucketed queue trace-identical to a global heap.
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-impl<M> Eq for Scheduled<M> {}
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
 
-impl<M> PartialOrd for Scheduled<M> {
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for Scheduled<M> {
+impl Ord for Scheduled {
     /// Earliest-first, ties broken by scheduling sequence. Combined with
-    /// `Reverse` this turns `BinaryHeap` into a min-heap over `(at, seq)`.
+    /// `Reverse` this turns a `BinaryHeap` into a min-heap over
+    /// `(at, seq)` — the overflow tier and the test-only heap queue both
+    /// rely on it.
     fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -55,7 +72,7 @@ mod tests {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    fn ev(at: u64, seq: u64) -> Scheduled<()> {
+    pub(crate) fn ev(at: u64, seq: u64) -> Scheduled {
         Scheduled {
             at: SimTime::from_micros(at),
             seq,
@@ -83,5 +100,12 @@ mod tests {
             .map(|Reverse(e)| (e.at.as_micros(), e.seq))
             .collect();
         assert_eq!(order, vec![(1, 1), (3, 3), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn events_are_small() {
+        // The point of the arena split: queue traffic is fixed-size and
+        // independent of the message type.
+        assert!(std::mem::size_of::<Scheduled>() <= 48);
     }
 }

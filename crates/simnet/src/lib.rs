@@ -49,21 +49,25 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod arena;
 mod event;
 mod fault;
 mod latency;
 mod metrics;
+pub mod reference;
 pub mod runner;
 mod sim;
 pub mod threaded;
 mod time;
 mod trace;
+mod wheel;
 
 pub use actor::{Actor, Command, Context};
 pub use fault::{FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use metrics::{Histogram, Metrics};
-pub use runner::{ActorRunner, Transport};
+pub use runner::{ActorRunner, RunnerStats, Transport};
 pub use sim::{NetConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
+pub use wheel::QueueConfig;

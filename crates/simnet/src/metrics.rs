@@ -115,6 +115,11 @@ pub struct Metrics {
     pub duplicated: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// High-water mark of messages simultaneously in flight (scheduled
+    /// for delivery but not yet delivered). Both simulator cores track
+    /// this identically — in the bucketed core it equals the message
+    /// arena's peak occupancy, i.e. its storage footprint in slots.
+    pub peak_in_flight: u64,
     /// One-way network latency of each delivered message.
     pub net_latency: Histogram,
 }

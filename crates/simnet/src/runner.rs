@@ -69,6 +69,24 @@ impl<M, F: FnMut(ProcessId, M)> Transport<M> for F {
     }
 }
 
+/// Allocation and throughput counters for one [`ActorRunner`].
+///
+/// `scratch_grows` is the no-allocation contract made observable: the
+/// runner recycles one command buffer across callbacks, so after the
+/// buffer has grown to the actor's largest command burst, further
+/// callbacks must not allocate for commands at all. Steady-state traffic
+/// with a growing `scratch_grows` is a regression.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Actor callbacks dispatched (`on_start` + messages + timers).
+    pub callbacks: u64,
+    /// Commands the actor issued across all callbacks.
+    pub commands: u64,
+    /// Callbacks after which the recycled command buffer's capacity had
+    /// grown. Bounded by the actor's peak burst, not by message count.
+    pub scratch_grows: u64,
+}
+
 /// Drives one [`Actor`] against wall-clock time.
 ///
 /// Owns the actor, its deterministic RNG, and its pending timers. The
@@ -86,6 +104,9 @@ pub struct ActorRunner<A: Actor> {
     // Timer wheel: (deadline, insertion-order, tag).
     timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
     timer_seq: u64,
+    // Recycled command buffer handed to every Context (see RunnerStats).
+    scratch: Vec<Command<A::Msg>>,
+    stats: RunnerStats,
 }
 
 enum Event<M> {
@@ -107,7 +128,14 @@ impl<A: Actor> ActorRunner<A> {
             epoch: Instant::now(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
+            scratch: Vec::new(),
+            stats: RunnerStats::default(),
         }
+    }
+
+    /// Allocation/throughput counters accumulated so far.
+    pub fn stats(&self) -> RunnerStats {
+        self.stats
     }
 
     /// This runner's process id.
@@ -160,13 +188,21 @@ impl<A: Actor> ActorRunner<A> {
 
     fn dispatch<T: Transport<A::Msg>>(&mut self, transport: &mut T, event: Event<A::Msg>) {
         let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
-        let mut ctx = Context::new(self.me, now, self.group_size, &mut self.rng);
+        let scratch = std::mem::take(&mut self.scratch);
+        let cap_before = scratch.capacity();
+        let mut ctx = Context::with_scratch(self.me, now, self.group_size, &mut self.rng, scratch);
         match event {
             Event::Start => self.node.on_start(&mut ctx),
             Event::Message(from, msg) => self.node.on_message(&mut ctx, from, msg),
             Event::Timer(tag) => self.node.on_timer(&mut ctx, tag),
         }
-        for command in ctx.take_commands() {
+        let mut commands = ctx.take_commands();
+        self.stats.callbacks += 1;
+        self.stats.commands += commands.len() as u64;
+        if commands.capacity() > cap_before {
+            self.stats.scratch_grows += 1;
+        }
+        for command in commands.drain(..) {
             match command {
                 Command::Send { to, msg } => transport.send(to, msg),
                 Command::Multicast { to, msg } => transport.multicast(&to, msg),
@@ -177,6 +213,7 @@ impl<A: Actor> ActorRunner<A> {
                 }
             }
         }
+        self.scratch = commands;
     }
 }
 
@@ -223,6 +260,29 @@ mod tests {
         runner.fire_due_timers(&mut transport);
         assert_eq!(transport.0.last(), Some(&(ProcessId::new(2), 7)));
         assert!(runner.next_timer_deadline().is_none());
+    }
+
+    #[test]
+    fn steady_state_messages_do_not_grow_the_scratch_buffer() {
+        let mut transport = Recorder::default();
+        let mut runner = ActorRunner::new(Chatty, ProcessId::new(0), 3, 1);
+        runner.start(&mut transport);
+        // Warm-up: the buffer may grow to the largest burst seen so far.
+        for i in 0..10 {
+            runner.on_message(&mut transport, ProcessId::new(1), i);
+        }
+        let warm = runner.stats();
+        // Steady state: per-message command handling must be allocation-free.
+        for i in 0..1_000 {
+            runner.on_message(&mut transport, ProcessId::new(1), i);
+        }
+        let stats = runner.stats();
+        assert_eq!(
+            stats.scratch_grows, warm.scratch_grows,
+            "command buffer grew during steady-state traffic"
+        );
+        assert_eq!(stats.callbacks, warm.callbacks + 1_000);
+        assert_eq!(stats.commands, warm.commands + 1_000);
     }
 
     #[test]

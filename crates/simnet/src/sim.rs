@@ -1,13 +1,23 @@
 //! The discrete-event simulation engine.
+//!
+//! This is the bucketed core: events live in a [`CalendarQueue`] as small
+//! `Copy` records, payloads live in a generation-checked `MsgArena`, and
+//! actor commands are collected into one recycled scratch buffer. The
+//! pre-refactor heap engine survives as [`crate::reference`], and the
+//! differential suites hold the two bit-for-bit equal.
 
 use crate::actor::{Actor, Command, Context};
+use crate::arena::MsgArena;
 use crate::event::{EventKind, Scheduled};
-use crate::{FaultPlan, LatencyModel, Metrics, Partition, SimDuration, SimTime, Trace, TraceEvent};
+use crate::fault::PartitionSchedule;
+use crate::wheel::CalendarQueue;
+use crate::{
+    FaultPlan, LatencyModel, Metrics, Partition, QueueConfig, SimDuration, SimTime, Trace,
+    TraceEvent,
+};
 use causal_clocks::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Network configuration: latency model, probabilistic faults, and
 /// scheduled partitions.
@@ -82,7 +92,15 @@ impl NetConfig {
         &self.faults
     }
 
-    fn severed(&self, from: ProcessId, to: ProcessId, at: SimTime) -> bool {
+    /// The scheduled partitions, in configuration order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Full scan over every partition; the bucketed core uses the
+    /// incremental [`PartitionSchedule`] instead, and the differential
+    /// tests keep the two answers equal.
+    pub(crate) fn severed(&self, from: ProcessId, to: ProcessId, at: SimTime) -> bool {
         self.partitions.iter().any(|p| p.severs(from, to, at))
     }
 }
@@ -91,7 +109,17 @@ impl NetConfig {
 ///
 /// Events (message deliveries, timer firings) are processed in
 /// `(time, scheduling-sequence)` order, so two runs with the same actors,
-/// configuration, and seed produce identical histories.
+/// configuration, and seed produce identical histories — and identical to
+/// the [`reference`](crate::reference) core's, which this engine replaces
+/// for throughput:
+///
+/// - events wait in a bucketed `CalendarQueue` instead of a global heap;
+/// - payloads live in a generation-checked `MsgArena`, so queue traffic
+///   is fixed-size and steady-state runs allocate nothing per message;
+/// - actor commands collect into one recycled scratch buffer instead of a
+///   fresh `Vec` per callback;
+/// - [`run_events`](Self::run_events) / [`drain_timestamp`](Self::drain_timestamp)
+///   batch stepping for driver loops.
 ///
 /// # Examples
 ///
@@ -99,42 +127,63 @@ impl NetConfig {
 #[derive(Debug)]
 pub struct Simulation<A: Actor> {
     nodes: Vec<A>,
-    queue: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
+    queue: CalendarQueue,
+    arena: MsgArena<A::Msg>,
     now: SimTime,
     next_seq: u64,
     rng: StdRng,
     config: NetConfig,
+    partitions: PartitionSchedule,
     metrics: Metrics,
     trace: Option<Trace>,
     events_processed: u64,
+    scratch: Vec<Command<A::Msg>>,
 }
 
 impl<A: Actor> Simulation<A> {
     /// Creates a simulation over `nodes` (node `i` gets identity `p_i`) and
-    /// runs every actor's [`Actor::on_start`] at time zero.
+    /// runs every actor's [`Actor::on_start`] at time zero. Uses the
+    /// default event-queue geometry ([`QueueConfig::default`]).
     ///
     /// # Panics
     ///
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<A>, config: NetConfig, seed: u64) -> Self {
+        Simulation::with_queue_config(nodes, config, seed, QueueConfig::default())
+    }
+
+    /// [`new`](Self::new) with explicit event-queue geometry, for workloads
+    /// whose latency profile doesn't fit the default bucket span. Queue
+    /// geometry never affects results — only speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or `queue` is invalid.
+    pub fn with_queue_config(
+        nodes: Vec<A>,
+        config: NetConfig,
+        seed: u64,
+        queue: QueueConfig,
+    ) -> Self {
         assert!(!nodes.is_empty(), "simulation requires at least one node");
+        let partitions = PartitionSchedule::new(config.partitions());
         let mut sim = Simulation {
             nodes,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(queue),
+            arena: MsgArena::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             rng: StdRng::seed_from_u64(seed),
             config,
+            partitions,
             metrics: Metrics::new(),
             trace: None,
             events_processed: 0,
+            scratch: Vec::new(),
         };
         for i in 0..sim.nodes.len() {
             let me = ProcessId::new(i as u32);
-            let mut ctx = Context::new(me, sim.now, sim.nodes.len(), &mut sim.rng);
-            sim.nodes[i].on_start(&mut ctx);
-            let commands = ctx.take_commands();
-            sim.apply_commands(me, commands);
+            sim.run_callback(me, |node, ctx| node.on_start(ctx));
         }
         sim
     }
@@ -207,6 +256,17 @@ impl<A: Actor> Simulation<A> {
         self.events_processed
     }
 
+    /// Messages currently in flight (scheduled for delivery but not yet
+    /// delivered) — the live population of the message arena.
+    pub fn in_flight(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Events waiting in the queue (deliveries and timers).
+    pub fn events_queued(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Calls `f` on node `p` with a live [`Context`] at the current time,
     /// then applies the commands it issued. This is how external drivers
     /// (workload generators, examples) inject requests mid-run.
@@ -218,69 +278,70 @@ impl<A: Actor> Simulation<A> {
     where
         F: FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R,
     {
-        let mut ctx = Context::new(p, self.now, self.nodes.len(), &mut self.rng);
-        let out = f(&mut self.nodes[p.as_usize()], &mut ctx);
-        let commands = ctx.take_commands();
-        self.apply_commands(p, commands);
-        out
+        self.run_callback(p, |node, ctx| f(node, ctx))
     }
 
     /// Processes the next scheduled event. Returns `false` when the queue
     /// is empty (quiescence).
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         debug_assert!(event.at >= self.now, "time went backwards");
         self.now = event.at;
         self.events_processed += 1;
-        match event.kind {
-            EventKind::Deliver {
-                from,
-                to,
-                msg,
-                sent_at,
-            } => {
-                self.metrics.delivered += 1;
-                self.metrics
-                    .net_latency
-                    .record(self.now.saturating_since(sent_at));
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent::Delivered {
-                        at: self.now,
-                        from,
-                        to,
-                        sent_at,
-                    });
-                }
-                let mut ctx = Context::new(to, self.now, self.nodes.len(), &mut self.rng);
-                self.nodes[to.as_usize()].on_message(&mut ctx, from, msg);
-                let commands = ctx.take_commands();
-                self.apply_commands(to, commands);
-            }
-            EventKind::Timer { node, tag } => {
-                self.metrics.timers_fired += 1;
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent::TimerFired {
-                        at: self.now,
-                        node,
-                        tag,
-                    });
-                }
-                let mut ctx = Context::new(node, self.now, self.nodes.len(), &mut self.rng);
-                self.nodes[node.as_usize()].on_timer(&mut ctx, tag);
-                let commands = ctx.take_commands();
-                self.apply_commands(node, commands);
-            }
-        }
+        self.fire(event);
         true
+    }
+
+    /// Processes up to `max` events, returning how many ran (fewer only on
+    /// quiescence). Batching keeps driver loops out of the per-event path:
+    /// a harness can interleave workload injection every `n` events instead
+    /// of wrapping every [`step`](Self::step).
+    pub fn run_events(&mut self, max: u64) -> u64 {
+        let mut done = 0;
+        while done < max {
+            let Some(event) = self.queue.pop() else {
+                break;
+            };
+            debug_assert!(event.at >= self.now, "time went backwards");
+            self.now = event.at;
+            self.events_processed += 1;
+            self.fire(event);
+            done += 1;
+        }
+        done
+    }
+
+    /// Processes every event of the next occupied simulated instant —
+    /// including events that callbacks schedule *at* that instant (loopback
+    /// deliveries, zero-delay timers) — and returns how many ran. Zero
+    /// means quiescence. This is the batched unit drivers want when they
+    /// inspect state "between" simulated times: afterwards, no event is
+    /// pending at `now()`.
+    pub fn drain_timestamp(&mut self) -> u64 {
+        let Some((instant, _)) = self.queue.peek_key() else {
+            return 0;
+        };
+        let mut done = 0;
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at != instant {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event");
+            self.now = event.at;
+            self.events_processed += 1;
+            self.fire(event);
+            done += 1;
+        }
+        done
     }
 
     /// Runs until no event is scheduled at or before `deadline`; the clock
     /// ends at `deadline` or later only if an event lands exactly there.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -313,22 +374,98 @@ impl<A: Actor> Simulation<A> {
         self.nodes
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind<A::Msg>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    /// Dispatches one popped event to its actor callback.
+    fn fire(&mut self, event: Scheduled) {
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                sent_at,
+            } => {
+                let msg = self.arena.reclaim(msg);
+                self.metrics.delivered += 1;
+                self.metrics
+                    .net_latency
+                    .record(self.now.saturating_since(sent_at));
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Delivered {
+                        at: self.now,
+                        from,
+                        to,
+                        sent_at,
+                    });
+                }
+                self.run_callback(to, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, tag } => {
+                self.metrics.timers_fired += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::TimerFired {
+                        at: self.now,
+                        node,
+                        tag,
+                    });
+                }
+                self.run_callback(node, |n, ctx| n.on_timer(ctx, tag));
+            }
+        }
     }
 
-    fn apply_commands(&mut self, me: ProcessId, commands: Vec<Command<A::Msg>>) {
-        for command in commands {
+    /// Runs one actor callback against the recycled scratch buffer, then
+    /// applies (and drains) the commands it issued and stores the buffer
+    /// back for the next callback.
+    fn run_callback<F, R>(&mut self, p: ProcessId, f: F) -> R
+    where
+        F: FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R,
+    {
+        let scratch = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_scratch(p, self.now, self.nodes.len(), &mut self.rng, scratch);
+        let out = f(&mut self.nodes[p.as_usize()], &mut ctx);
+        let mut commands = ctx.take_commands();
+        self.apply_commands(p, &mut commands);
+        self.scratch = commands;
+        out
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Parks `msg` in the arena and schedules its delivery.
+    fn schedule_delivery(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        let msg = self.arena.insert(msg);
+        self.metrics.peak_in_flight = self.arena.peak() as u64;
+        self.schedule(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                sent_at: self.now,
+            },
+        );
+    }
+
+    fn apply_commands(&mut self, me: ProcessId, commands: &mut Vec<Command<A::Msg>>) {
+        for command in commands.drain(..) {
             match command {
                 Command::Send { to, msg } => self.transmit(me, to, msg),
                 Command::Multicast { to, msg } => {
                     // Per-target transmissions in command order, so each
                     // leg draws faults/latency exactly as the equivalent
                     // sequence of `Send`s would (determinism under a seed).
-                    for dest in to {
-                        self.transmit(me, dest, msg.clone());
+                    let legs = to.len();
+                    let mut msg = Some(msg);
+                    for (i, dest) in to.into_iter().enumerate() {
+                        let payload = if i + 1 == legs {
+                            msg.take().expect("one payload per multicast")
+                        } else {
+                            msg.as_ref().expect("payload moved early").clone()
+                        };
+                        self.transmit(me, dest, payload);
                     }
                 }
                 Command::SetTimer { delay, tag } => {
@@ -340,19 +477,15 @@ impl<A: Actor> Simulation<A> {
 
     /// Applies faults/partitions/latency to one transmission and schedules
     /// the delivery (or drops it). Loopback sends bypass the network.
+    ///
+    /// The RNG draw order — drop Bernoulli, dup Bernoulli, one latency
+    /// sample per copy — is the determinism contract shared with
+    /// [`crate::reference`]; both cores must keep it exactly.
     fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
         self.metrics.sent += 1;
         if from == to {
             // Loopback: immediate, reliable.
-            self.schedule(
-                self.now,
-                EventKind::Deliver {
-                    from,
-                    to,
-                    msg,
-                    sent_at: self.now,
-                },
-            );
+            self.schedule_delivery(self.now, from, to, msg);
             return;
         }
         if let Some(trace) = &mut self.trace {
@@ -362,11 +495,11 @@ impl<A: Actor> Simulation<A> {
                 to,
             });
         }
-        let severed = self.config.severed(from, to, self.now);
+        let severed = self.partitions.severed(from, to, self.now);
         let dropped = severed
             || self
                 .rng
-                .gen_bool(self.config.faults.drop_prob().clamp(0.0, 1.0));
+                .gen_bool(self.config.fault_plan().drop_prob().clamp(0.0, 1.0));
         if dropped {
             self.metrics.dropped += 1;
             if let Some(trace) = &mut self.trace {
@@ -380,24 +513,22 @@ impl<A: Actor> Simulation<A> {
         }
         let copies = if self
             .rng
-            .gen_bool(self.config.faults.dup_prob().clamp(0.0, 1.0))
+            .gen_bool(self.config.fault_plan().dup_prob().clamp(0.0, 1.0))
         {
             self.metrics.duplicated += 1;
             2
         } else {
             1
         };
-        for _ in 0..copies {
+        let mut msg = Some(msg);
+        for i in 0..copies {
             let latency: SimDuration = self.config.latency_for(from, to).sample(&mut self.rng);
-            self.schedule(
-                self.now + latency,
-                EventKind::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                    sent_at: self.now,
-                },
-            );
+            let payload = if i + 1 == copies {
+                msg.take().expect("one payload per copy")
+            } else {
+                msg.as_ref().expect("payload moved early").clone()
+            };
+            self.schedule_delivery(self.now + latency, from, to, payload);
         }
     }
 }
@@ -612,6 +743,113 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(sim.node(ProcessId::new(0)).fired, vec![1, 2, 3]);
         assert_eq!(sim.metrics().timers_fired, 3);
+    }
+
+    #[test]
+    fn far_future_timer_rides_the_overflow_tier() {
+        // 10 simulated seconds is far beyond the default ~65 ms wheel
+        // horizon, the reconnect-backoff shape the overflow tier exists for.
+        struct Backoff {
+            fired_at: Option<SimTime>,
+        }
+        impl Actor for Backoff {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(10_000), 42);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: ProcessId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, tag: u64) {
+                assert_eq!(tag, 42);
+                self.fired_at = Some(ctx.now());
+            }
+        }
+        let mut sim = Simulation::new(vec![Backoff { fired_at: None }], NetConfig::new(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.node(ProcessId::new(0)).fired_at,
+            Some(SimTime::from_millis(10_000))
+        );
+    }
+
+    #[test]
+    fn run_events_batches_and_reports_count() {
+        let mut sim = Simulation::new(counters(4, 10), NetConfig::new(), 1);
+        // 10 broadcasts × 3 destinations = 30 deliveries pending.
+        assert_eq!(sim.run_events(12), 12);
+        assert_eq!(sim.events_processed(), 12);
+        assert_eq!(sim.run_events(1_000), 18);
+        assert_eq!(sim.run_events(1_000), 0, "quiescent");
+        assert_eq!(sim.metrics().delivered, 30);
+    }
+
+    #[test]
+    fn drain_timestamp_consumes_one_instant_with_cascades() {
+        struct Chain {
+            got: Vec<u32>,
+        }
+        impl Actor for Chain {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me() == ProcessId::new(0) {
+                    let me = ctx.me();
+                    ctx.send(me, 3); // loopback cascade at t=0
+                    ctx.set_timer(SimDuration::from_micros(500), 0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: ProcessId, msg: u32) {
+                self.got.push(msg);
+                if msg > 0 {
+                    let me = ctx.me();
+                    ctx.send(me, msg - 1); // still at the same instant
+                }
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, u32>, _: u64) {}
+        }
+        let mut sim = Simulation::new(vec![Chain { got: vec![] }], NetConfig::new(), 1);
+        // Instant 0: the whole loopback cascade (3, 2, 1, 0), not the timer.
+        assert_eq!(sim.drain_timestamp(), 4);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.node(ProcessId::new(0)).got, vec![3, 2, 1, 0]);
+        // Next instant: the timer alone.
+        assert_eq!(sim.drain_timestamp(), 1);
+        assert_eq!(sim.now(), SimTime::from_micros(500));
+        assert_eq!(sim.drain_timestamp(), 0, "quiescent");
+    }
+
+    #[test]
+    fn arena_drains_to_zero_at_quiescence() {
+        let cfg = NetConfig::new().faults(FaultPlan::new().with_dup_prob(0.5));
+        let mut sim = Simulation::new(counters(5, 20), cfg, 3);
+        sim.run_to_quiescence();
+        assert_eq!(sim.in_flight(), 0);
+        assert_eq!(sim.events_queued(), 0);
+        assert!(sim.metrics().peak_in_flight > 0);
+    }
+
+    #[test]
+    fn matches_reference_core_under_faults() {
+        let mk_cfg = || {
+            NetConfig::with_latency(LatencyModel::uniform_micros(10, 2_000))
+                .faults(FaultPlan::new().with_drop_prob(0.2).with_dup_prob(0.2))
+                .partition(Partition::new(
+                    [ProcessId::new(0)],
+                    [ProcessId::new(1), ProcessId::new(2)],
+                    SimTime::from_micros(100),
+                    SimTime::from_micros(5_000),
+                ))
+        };
+        for seed in 0..5u64 {
+            let mut fast = Simulation::new(counters(4, 25), mk_cfg(), seed);
+            let mut oracle = crate::reference::Simulation::new(counters(4, 25), mk_cfg(), seed);
+            fast.enable_trace();
+            oracle.enable_trace();
+            fast.run_to_quiescence();
+            oracle.run_to_quiescence();
+            assert_eq!(fast.trace(), oracle.trace(), "seed {seed}");
+            assert_eq!(fast.metrics(), oracle.metrics(), "seed {seed}");
+            assert_eq!(fast.now(), oracle.now(), "seed {seed}");
+            assert_eq!(fast.events_processed(), oracle.events_processed());
+        }
     }
 
     #[test]

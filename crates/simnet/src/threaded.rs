@@ -35,7 +35,7 @@
 //! ```
 
 use crate::actor::Actor;
-use crate::runner::{ActorRunner, Transport};
+use crate::runner::{ActorRunner, RunnerStats, Transport};
 use causal_clocks::ProcessId;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
@@ -68,6 +68,30 @@ impl<M> Transport<M> for Mesh<M> {
 ///
 /// Panics if `nodes` is empty or if a node thread panics.
 pub fn run_threaded<A>(nodes: Vec<A>, duration: Duration, seed: u64) -> Vec<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    run_threaded_with_stats(nodes, duration, seed)
+        .into_iter()
+        .map(|(node, _)| node)
+        .collect()
+}
+
+/// [`run_threaded`], additionally returning each node's
+/// [`RunnerStats`] — the allocation/throughput counters of the shared
+/// [`ActorRunner`] driver. Tests use the `scratch_grows` counter to assert
+/// that steady-state message handling performs no per-message command
+/// allocation on the threaded path too.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or if a node thread panics.
+pub fn run_threaded_with_stats<A>(
+    nodes: Vec<A>,
+    duration: Duration,
+    seed: u64,
+) -> Vec<(A, RunnerStats)>
 where
     A: Actor + Send + 'static,
     A::Msg: Send + 'static,
@@ -113,7 +137,8 @@ where
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            runner.into_actor()
+            let stats = runner.stats();
+            (runner.into_actor(), stats)
         });
         handles.push(handle);
     }
@@ -154,6 +179,23 @@ mod tests {
         let done = run_threaded(nodes, Duration::from_millis(300), 1);
         // 6,5,4,3,2,1,0 -> 7 deliveries split across two nodes.
         assert_eq!(done[0].bounces + done[1].bounces, 7);
+    }
+
+    #[test]
+    fn threaded_runtime_reports_allocation_free_stats() {
+        let nodes = vec![PingPong { bounces: 0 }, PingPong { bounces: 0 }];
+        let done = run_threaded_with_stats(nodes, Duration::from_millis(300), 1);
+        let total_bounces: u32 = done.iter().map(|(n, _)| n.bounces).sum();
+        assert_eq!(total_bounces, 7);
+        for (_, stats) in &done {
+            // PingPong issues at most one command per callback: the scratch
+            // buffer grows once (0 → first burst) and never again.
+            assert!(
+                stats.scratch_grows <= 1,
+                "per-message allocation on the threaded path: {stats:?}"
+            );
+            assert!(stats.callbacks >= 1);
+        }
     }
 
     struct TimerTicker {

@@ -156,6 +156,12 @@ pub struct World<'c, N: Actor> {
     rng: StdRng,
     classify: &'c dyn Fn(&N::Msg) -> MsgClass,
     transitions: u64,
+    // Recycled buffers: a DFS explores thousands of worlds with many
+    // steps each, and per-step allocations dominated replay cost. The
+    // command scratch is threaded through every `Context` (same protocol
+    // as the simulator core), the cascade queue through every route.
+    scratch: Vec<Command<N::Msg>>,
+    cascade: VecDeque<(usize, usize, N::Msg)>,
 }
 
 impl<'c, N: Actor> World<'c, N> {
@@ -176,16 +182,14 @@ impl<'c, N: Actor> World<'c, N> {
             rng: StdRng::seed_from_u64(0),
             classify,
             transitions: 0,
+            scratch: Vec::new(),
+            cascade: VecDeque::new(),
         };
         for i in 0..n {
             world.step(i, |node, ctx| node.on_start(ctx));
         }
         script(&mut world);
         world
-    }
-
-    fn context(rng: &mut StdRng, i: usize, n: usize) -> Context<'_, N::Msg> {
-        Context::new(ProcessId::new(i as u32), SimTime::ZERO, n, rng)
     }
 
     /// Runs `f` against node `i` with a live context, then routes the
@@ -196,20 +200,30 @@ impl<'c, N: Actor> World<'c, N> {
 
     fn step<F: FnOnce(&mut N, &mut Context<'_, N::Msg>)>(&mut self, i: usize, f: F) -> Footprint {
         let n = self.nodes.len();
-        let mut ctx = Self::context(&mut self.rng, i, n);
+        let scratch = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_scratch(
+            ProcessId::new(i as u32),
+            SimTime::ZERO,
+            n,
+            &mut self.rng,
+            scratch,
+        );
         f(&mut self.nodes[i], &mut ctx);
-        let cmds = ctx.take_commands();
+        let mut cmds = ctx.take_commands();
         let mut fp = Footprint::default();
         fp.touched.insert(i);
-        self.route(i, cmds, &mut fp);
+        self.route(i, &mut cmds, &mut fp);
+        self.scratch = cmds;
         fp
     }
 
     /// Applies commands from node `origin`, delivering control messages
     /// and self-sends immediately (cascading) and queueing data messages.
-    fn route(&mut self, origin: usize, cmds: Vec<Command<N::Msg>>, fp: &mut Footprint) {
-        // (from, to, msg) pending immediate delivery.
-        let mut immediate: VecDeque<(usize, usize, N::Msg)> = VecDeque::new();
+    /// Drains `cmds` and leaves it empty (callers recycle the buffer).
+    fn route(&mut self, origin: usize, cmds: &mut Vec<Command<N::Msg>>, fp: &mut Footprint) {
+        // (from, to, msg) pending immediate delivery (recycled buffer).
+        let mut immediate = std::mem::take(&mut self.cascade);
+        debug_assert!(immediate.is_empty());
         let push = |links: &mut BTreeMap<LinkKey, VecDeque<N::Msg>>,
                     immediate: &mut VecDeque<(usize, usize, N::Msg)>,
                     fp: &mut Footprint,
@@ -225,7 +239,7 @@ impl<'c, N: Actor> World<'c, N> {
                 fp.appended.insert((from, to));
             }
         };
-        for cmd in cmds {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send { to, msg } => push(
                     &mut self.links,
@@ -259,10 +273,19 @@ impl<'c, N: Actor> World<'c, N> {
                 fp.control_touched.insert(to);
             }
             let n = self.nodes.len();
-            let mut ctx = Self::context(&mut self.rng, to, n);
+            // `cmds` is drained at this point: reuse it as the cascade
+            // delivery's command scratch.
+            let scratch = std::mem::take(cmds);
+            let mut ctx = Context::with_scratch(
+                ProcessId::new(to as u32),
+                SimTime::ZERO,
+                n,
+                &mut self.rng,
+                scratch,
+            );
             self.nodes[to].on_message(&mut ctx, ProcessId::new(from as u32), msg);
-            let cmds = ctx.take_commands();
-            for cmd in cmds {
+            *cmds = ctx.take_commands();
+            for cmd in cmds.drain(..) {
                 match cmd {
                     Command::Send { to: t, msg } => push(
                         &mut self.links,
@@ -290,6 +313,7 @@ impl<'c, N: Actor> World<'c, N> {
                 }
             }
         }
+        self.cascade = immediate;
     }
 
     /// The currently enabled transitions: links with queued data, in

@@ -15,10 +15,28 @@ use crate::analysis::lexer::TokKind;
 use crate::analysis::{Finding, Workspace};
 
 /// Path prefixes that must stay deterministic.
+///
+/// The simulator crate is listed file by file: its event core — the
+/// calendar queue, the message arena, the scratch-buffered command
+/// path, and both simulation engines — must replay bit-for-bit from a
+/// seed, but `runner.rs` and `threaded.rs` are the real-time drivers
+/// that bridge the same actors onto wall clocks *by design* and are
+/// deliberately exempt.
 pub const SCOPES: &[&str] = &[
     "crates/core/src/",
     "crates/clocks/src/",
     "crates/membership/src/",
+    "crates/simnet/src/actor.rs",
+    "crates/simnet/src/arena.rs",
+    "crates/simnet/src/event.rs",
+    "crates/simnet/src/fault.rs",
+    "crates/simnet/src/latency.rs",
+    "crates/simnet/src/metrics.rs",
+    "crates/simnet/src/reference.rs",
+    "crates/simnet/src/sim.rs",
+    "crates/simnet/src/time.rs",
+    "crates/simnet/src/trace.rs",
+    "crates/simnet/src/wheel.rs",
 ];
 
 /// Banned identifiers (any position).
@@ -126,5 +144,24 @@ mod tests {
         let f = findings("crates/core/src/delivery.rs", "use std::time::Duration;\n");
         assert_eq!(f.len(), 1);
         assert!(f[0].detail.contains("std::time"));
+    }
+
+    #[test]
+    fn simnet_event_core_is_in_scope() {
+        let src = "fn jitter() -> u64 { SystemTime::now().elapsed().unwrap().as_micros() as u64 }";
+        for file in [
+            "crates/simnet/src/wheel.rs",
+            "crates/simnet/src/arena.rs",
+            "crates/simnet/src/sim.rs",
+        ] {
+            assert_eq!(findings(file, src).len(), 1, "{file} must be gated");
+        }
+    }
+
+    #[test]
+    fn simnet_realtime_drivers_are_exempt() {
+        let src = "fn deadline() { let _ = Instant::now(); }";
+        assert!(findings("crates/simnet/src/runner.rs", src).is_empty());
+        assert!(findings("crates/simnet/src/threaded.rs", src).is_empty());
     }
 }
