@@ -147,27 +147,33 @@ impl<P> GraphDelivery<P> {
     /// released for processing, in delivery order (possibly empty, possibly
     /// several when the arrival unblocks buffered waiters).
     pub fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
+        let mut released = Vec::new();
+        self.on_receive_into(env, &mut released);
+        released
+    }
+
+    /// [`on_receive`](Self::on_receive) appending to a caller-owned
+    /// buffer — the allocation-free flood-path variant: missing
+    /// dependencies are counted in place instead of collected, and
+    /// cascades extend `released` directly.
+    pub fn on_receive_into(&mut self, env: GraphEnvelope<P>, released: &mut Vec<GraphEnvelope<P>>) {
         if self.is_compacted(env.id) || !self.seen.insert(env.id) {
             self.duplicates += 1;
-            return Vec::new();
+            return;
         }
-        let missing: Vec<MsgId> = env
-            .deps
-            .iter()
-            .copied()
-            .filter(|&d| !self.is_satisfied(d))
-            .collect();
-        if missing.is_empty() {
-            let mut released = vec![self.deliver(env)];
-            self.cascade(&mut released);
-            released
+        let missing = env.deps.iter().filter(|&&d| !self.is_satisfied(d)).count();
+        if missing == 0 {
+            let delivered = self.deliver(env);
+            released.push(delivered);
+            self.cascade(released);
         } else {
-            for &d in &missing {
-                self.waiters.entry(d).or_default().push(env.id);
+            for &d in &env.deps {
+                if !self.is_satisfied(d) {
+                    self.waiters.entry(d).or_default().push(env.id);
+                }
             }
-            self.missing.insert(env.id, missing.len());
+            self.missing.insert(env.id, missing);
             self.pending.insert(env.id, env);
-            Vec::new()
         }
     }
 
@@ -287,8 +293,8 @@ impl<P: Clone> DeliveryEngine for GraphDelivery<P> {
         (env, released)
     }
 
-    fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
-        GraphDelivery::on_receive(self, env)
+    fn on_receive_into(&mut self, env: GraphEnvelope<P>, out: &mut Vec<GraphEnvelope<P>>) {
+        GraphDelivery::on_receive_into(self, env, out);
     }
 
     fn view<'a>(env: &'a GraphEnvelope<P>) -> Delivered<'a, P> {

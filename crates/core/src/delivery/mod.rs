@@ -150,7 +150,19 @@ pub trait DeliveryEngine {
 
     /// Handles an envelope received from the network; returns the
     /// envelopes released to the application, in delivery order.
-    fn on_receive(&mut self, env: Self::Envelope) -> Vec<Self::Envelope>;
+    fn on_receive(&mut self, env: Self::Envelope) -> Vec<Self::Envelope> {
+        let mut out = Vec::new();
+        self.on_receive_into(env, &mut out);
+        out
+    }
+
+    /// Like [`on_receive`](Self::on_receive), appending the released
+    /// envelopes to `out` instead of returning a fresh vector. This is
+    /// the flood-path entry point: drivers feed a reused scratch buffer
+    /// through it so steady-state receive processing allocates nothing
+    /// (the causal engines also keep their internal drain scratch across
+    /// calls for the same reason).
+    fn on_receive_into(&mut self, env: Self::Envelope, out: &mut Vec<Self::Envelope>);
 
     /// Projects an envelope to the engine-agnostic delivered view.
     fn view<'a>(env: &'a Self::Envelope) -> Delivered<'a, Self::Op>;

@@ -188,7 +188,14 @@ impl<P: Clone> PcEngine<P> {
                 }
             }
         }
-        batch.push(timed.clone());
+        // `batch` is only ever read by `on_pong`, which flushes solely on
+        // links whose handshake was already outstanding when this call
+        // began (`pending_ping` is set in `on_members`, never mid-frame).
+        // With every link safe the clone would be dead weight on the
+        // steady-state flood path, so skip it.
+        if self.links.values().any(|l| l.pending_ping.is_some()) {
+            batch.push(timed.clone());
+        }
         out.released.push(timed.env);
     }
 
@@ -295,12 +302,15 @@ impl<P: Clone> DeliveryEngine for PcEngine<P> {
         (env.clone(), vec![env])
     }
 
-    fn on_receive(&mut self, env: PcEnvelope<P>) -> Vec<PcEnvelope<P>> {
-        self.on_replay(Timed {
-            env,
-            sent_at: causal_simnet::SimTime::ZERO,
-        })
-        .released
+    fn on_receive_into(&mut self, env: PcEnvelope<P>, out: &mut Vec<PcEnvelope<P>>) {
+        out.append(
+            &mut self
+                .on_replay(Timed {
+                    env,
+                    sent_at: causal_simnet::SimTime::ZERO,
+                })
+                .released,
+        );
     }
 
     fn on_replay(&mut self, timed: Timed<PcEnvelope<P>>) -> LinkDelivery<PcEnvelope<P>> {

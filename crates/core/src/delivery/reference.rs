@@ -253,8 +253,8 @@ impl<P: Clone> DeliveryEngine for FlatCbcastEngine<P> {
         (env.clone(), vec![env])
     }
 
-    fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
-        FlatCbcastEngine::on_receive(self, env)
+    fn on_receive_into(&mut self, env: VtEnvelope<P>, out: &mut Vec<VtEnvelope<P>>) {
+        out.extend(FlatCbcastEngine::on_receive(self, env));
     }
 
     fn view<'a>(env: &'a VtEnvelope<P>) -> Delivered<'a, P> {
@@ -302,8 +302,8 @@ impl<P: Clone> DeliveryEngine for ScanGraphDelivery<P> {
         (env, released)
     }
 
-    fn on_receive(&mut self, env: GraphEnvelope<P>) -> Vec<GraphEnvelope<P>> {
-        ScanGraphDelivery::on_receive(self, env)
+    fn on_receive_into(&mut self, env: GraphEnvelope<P>, out: &mut Vec<GraphEnvelope<P>>) {
+        out.extend(ScanGraphDelivery::on_receive(self, env));
     }
 
     fn view<'a>(env: &'a GraphEnvelope<P>) -> Delivered<'a, P> {

@@ -90,6 +90,13 @@ pub struct CbcastEngine<P> {
     arrivals: u64,
     log: Vec<MsgId>,
     duplicates: u64,
+    /// Drain scratch — `(arrival, origin)` of heads known deliverable but
+    /// not yet popped. Kept across calls (always drained empty) so the
+    /// receive flood path allocates nothing in steady state.
+    ready: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Drain scratch — origins whose clock entry advanced since the last
+    /// wake pass. Same reuse discipline as `ready`.
+    advanced: Vec<ProcessId>,
 }
 
 impl<P> CbcastEngine<P> {
@@ -110,6 +117,8 @@ impl<P> CbcastEngine<P> {
             arrivals: 0,
             log: Vec::new(),
             duplicates: 0,
+            ready: BinaryHeap::new(),
+            advanced: Vec::new(),
         }
     }
 
@@ -134,11 +143,18 @@ impl<P> CbcastEngine<P> {
     /// released for processing in causal order (deliveries may cascade).
     pub fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
         let mut released = Vec::new();
+        self.on_receive_into(env, &mut released);
+        released
+    }
+
+    /// [`on_receive`](Self::on_receive) appending to a caller-owned
+    /// buffer — the allocation-free flood-path variant.
+    pub fn on_receive_into(&mut self, env: VtEnvelope<P>, released: &mut Vec<VtEnvelope<P>>) {
         match self.vt.delivery_check(&env.vt, env.id.origin()) {
             DeliveryCheck::Deliverable => {
                 let origin = env.id.origin();
-                self.deliver(env, &mut released);
-                self.drain_from(origin, &mut released);
+                self.deliver(env, released);
+                self.drain_from(origin, released);
             }
             DeliveryCheck::Duplicate => {
                 self.duplicates += 1;
@@ -147,7 +163,6 @@ impl<P> CbcastEngine<P> {
                 self.buffer(env);
             }
         }
-        released
     }
 
     /// Buffers a non-deliverable envelope in its origin's queue,
@@ -225,12 +240,12 @@ impl<P> CbcastEngine<P> {
     /// Simultaneously deliverable heads release in arrival order, matching
     /// the seed engine's linear-rescan drain.
     fn drain_from(&mut self, origin: ProcessId, released: &mut Vec<VtEnvelope<P>>) {
-        // (arrival, origin) of heads known deliverable but not yet popped.
-        let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        // Origins whose vector-clock entry advanced since last wake pass.
-        let mut advanced = vec![origin];
+        // Both scratch collections live on the engine and are empty here:
+        // every path below drains them before returning.
+        debug_assert!(self.ready.is_empty() && self.advanced.is_empty());
+        self.advanced.push(origin);
         loop {
-            while let Some(j) = advanced.pop() {
+            while let Some(j) = self.advanced.pop() {
                 let v = self.vt.get(j);
                 while let Some(&Reverse((need, k))) = self.waiters[j.as_usize()].peek() {
                     if need > v {
@@ -242,11 +257,11 @@ impl<P> CbcastEngine<P> {
                         continue; // superseded registration
                     }
                     if let Some(arrival) = self.check_head(k) {
-                        ready.push(Reverse((arrival, k.as_u32())));
+                        self.ready.push(Reverse((arrival, k.as_u32())));
                     }
                 }
             }
-            let Some(Reverse((_, k))) = ready.pop() else {
+            let Some(Reverse((_, k))) = self.ready.pop() else {
                 break;
             };
             let k = ProcessId::new(k);
@@ -255,10 +270,10 @@ impl<P> CbcastEngine<P> {
                 .expect("ready origin has a queued head");
             self.buffered -= 1;
             self.deliver(head.env, released);
-            advanced.push(k);
+            self.advanced.push(k);
             // The next message in k's queue was never examined as a head.
             if let Some(arrival) = self.check_head(k) {
-                ready.push(Reverse((arrival, k.as_u32())));
+                self.ready.push(Reverse((arrival, k.as_u32())));
             }
         }
     }
@@ -304,8 +319,8 @@ impl<P: Clone> super::DeliveryEngine for CbcastEngine<P> {
         (env.clone(), vec![env])
     }
 
-    fn on_receive(&mut self, env: VtEnvelope<P>) -> Vec<VtEnvelope<P>> {
-        CbcastEngine::on_receive(self, env)
+    fn on_receive_into(&mut self, env: VtEnvelope<P>, out: &mut Vec<VtEnvelope<P>>) {
+        CbcastEngine::on_receive_into(self, env, out);
     }
 
     fn view<'a>(env: &'a VtEnvelope<P>) -> super::Delivered<'a, P> {

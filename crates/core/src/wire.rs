@@ -198,6 +198,12 @@ impl FrameHeader {
         );
         FrameHeader { len: len as u32 }
     }
+
+    /// The header's wire bytes as a stack array — the transport frames
+    /// every outbound message, so this path must not allocate.
+    pub fn encoded(&self) -> [u8; Self::ENCODED_LEN] {
+        self.len.to_le_bytes()
+    }
 }
 
 impl WireEncode for FrameHeader {
@@ -458,16 +464,13 @@ impl WireEncode for GroupView {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         let id = ViewId::decode(input)?;
         let n = get_len(input)?;
-        if n == 0 {
-            // A view must have at least one member; reject before the
-            // panicking constructor sees it.
-            return Err(DecodeError::LengthOutOfRange { got: 0 });
-        }
         let mut members = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             members.push(ProcessId::new(get_u32_le(input)?));
         }
-        Ok(GroupView::new(id, members))
+        // A view must have at least one member; the fallible constructor
+        // turns an empty set into a decode error instead of a panic.
+        GroupView::try_new(id, members).ok_or(DecodeError::LengthOutOfRange { got: n as u64 })
     }
 }
 

@@ -88,14 +88,21 @@ impl GroupView {
     ///
     /// Panics if `members` is empty.
     pub fn new<I: IntoIterator<Item = ProcessId>>(id: ViewId, members: I) -> Self {
+        Self::try_new(id, members).expect("a group view must have at least one member")
+    }
+
+    /// Fallible twin of [`new`](Self::new): `None` on an empty member
+    /// set instead of panicking. Untrusted construction sites (wire
+    /// decoding) go through this so malformed input surfaces as a decode
+    /// error rather than a process abort.
+    pub fn try_new<I: IntoIterator<Item = ProcessId>>(id: ViewId, members: I) -> Option<Self> {
         let mut members: Vec<_> = members.into_iter().collect();
         members.sort_unstable();
         members.dedup();
-        assert!(
-            !members.is_empty(),
-            "a group view must have at least one member"
-        );
-        GroupView { id, members }
+        if members.is_empty() {
+            return None;
+        }
+        Some(GroupView { id, members })
     }
 
     /// The view identifier.

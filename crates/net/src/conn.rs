@@ -22,7 +22,7 @@ use crate::frame::hello_body;
 use crate::reactor::{Reactor, NO_CONN};
 use crate::stats::NetStats;
 use causal_clocks::ProcessId;
-use causal_core::wire::{FrameHeader, WireEncode};
+use causal_core::wire::FrameHeader;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -66,11 +66,10 @@ impl OutFrame {
             FrameBody::Owned(v) => v.len(),
             FrameBody::Shared(a) => a.len(),
         };
-        let mut encoded = Vec::with_capacity(FrameHeader::ENCODED_LEN);
-        FrameHeader::for_body_len(len).encode(&mut encoded);
-        let mut header = [0u8; FrameHeader::ENCODED_LEN];
-        header.copy_from_slice(&encoded);
-        OutFrame { header, body }
+        OutFrame {
+            header: FrameHeader::for_body_len(len).encoded(),
+            body,
+        }
     }
 
     pub(crate) fn owned(body: Vec<u8>) -> Self {

@@ -31,7 +31,7 @@ use crate::config::TcpConfig;
 use crate::conn::{LinkMode, LinkState, NodeCore, OutFrame};
 use crate::frame::parse_hello;
 use crate::stats::{ReactorSnapshot, ReactorStats};
-use crate::sys::{self, EpollEvent, WriteSlice};
+use crate::sys::{self, EpollEvent};
 use std::collections::{BinaryHeap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -910,20 +910,17 @@ impl Shard {
                     }
                     break;
                 }
-                let (segs, batch_bytes, batch_frames) =
-                    gather_iovecs(inflight, *inflight_off, self.max_batch_bytes);
                 self.shared.stats.record_writev_syscall();
-                match sys::writev_fd(stream.as_raw_fd(), &segs) {
-                    Ok(written) => {
-                        drop(segs);
+                let segs = IovSegments::new(inflight, *inflight_off, self.max_batch_bytes);
+                match sys::writev_fd(stream.as_raw_fd(), segs) {
+                    Ok((written, submitted)) => {
                         let completed = advance_inflight(inflight, inflight_off, written);
                         if let Some(l) = stats_link {
                             l.record_write(completed, written as u64);
                         }
-                        if written < batch_bytes {
+                        if written < submitted {
                             // Socket buffer full mid-batch: wait for
                             // writability.
-                            let _ = batch_frames;
                             if !*want_write {
                                 *want_write = true;
                                 let _ = self.epoll.modify(
@@ -936,7 +933,6 @@ impl Shard {
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        drop(segs);
                         if !*want_write {
                             *want_write = true;
                             let _ = self.epoll.modify(
@@ -963,45 +959,63 @@ impl Shard {
     }
 }
 
-/// Builds one `writev` batch from the in-flight queue: up to
-/// [`sys::MAX_IOVECS`] segments or `max_bytes` wire bytes, starting
-/// `offset` bytes into the front frame. Returns the segments plus the
-/// batch's byte and frame counts.
-fn gather_iovecs<'a>(
-    inflight: &'a VecDeque<OutFrame>,
-    offset: usize,
+/// Streams one `writev` batch out of the in-flight queue as raw wire
+/// segments — header then body per frame, starting `offset` bytes into
+/// the front frame, stopping once `max_bytes` wire bytes have been
+/// yielded. No intermediate collection: [`sys::writev_fd`] consumes the
+/// iterator straight into its stack iovec array (which also enforces the
+/// [`sys::MAX_IOVECS`] cap; a frame split across batches resumes via the
+/// caller's running offset).
+struct IovSegments<'a> {
+    frames: std::collections::vec_deque::Iter<'a, OutFrame>,
+    pending_body: Option<&'a [u8]>,
+    skip: usize,
+    bytes: usize,
     max_bytes: usize,
-) -> (Vec<WriteSlice<'a>>, usize, usize) {
-    let mut segs: Vec<WriteSlice<'a>> = Vec::with_capacity(sys::MAX_IOVECS.min(inflight.len() * 2));
-    let mut bytes = 0usize;
-    let mut frames = 0usize;
-    let mut skip = offset;
-    for frame in inflight {
-        if segs.len() + 2 > sys::MAX_IOVECS || bytes >= max_bytes {
-            break;
+}
+
+impl<'a> IovSegments<'a> {
+    fn new(inflight: &'a VecDeque<OutFrame>, offset: usize, max_bytes: usize) -> Self {
+        IovSegments {
+            frames: inflight.iter(),
+            pending_body: None,
+            skip: offset,
+            bytes: 0,
+            max_bytes,
         }
-        let header = frame.header_bytes();
-        if skip < header.len() {
-            segs.push(WriteSlice::new(&header[skip..]));
-            bytes += header.len() - skip;
-            skip = 0;
-        } else {
-            skip -= header.len();
-        }
-        let body = frame.body_bytes();
-        if skip < body.len() {
-            let seg = &body[skip..];
-            if !seg.is_empty() {
-                segs.push(WriteSlice::new(seg));
-                bytes += seg.len();
-            }
-            skip = 0;
-        } else {
-            skip -= body.len();
-        }
-        frames += 1;
     }
-    (segs, bytes, frames)
+}
+
+impl<'a> Iterator for IovSegments<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        loop {
+            if let Some(body) = self.pending_body.take() {
+                if self.skip < body.len() {
+                    let seg = &body[self.skip..];
+                    self.skip = 0;
+                    self.bytes += seg.len();
+                    return Some(seg);
+                }
+                self.skip -= body.len();
+                continue;
+            }
+            if self.bytes >= self.max_bytes {
+                return None;
+            }
+            let frame = self.frames.next()?;
+            let header = frame.header_bytes();
+            self.pending_body = Some(frame.body_bytes());
+            if self.skip < header.len() {
+                let seg = &header[self.skip..];
+                self.skip = 0;
+                self.bytes += seg.len();
+                return Some(seg);
+            }
+            self.skip -= header.len();
+        }
+    }
 }
 
 /// Pops fully written frames off the in-flight queue after a `writev`

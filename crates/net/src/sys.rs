@@ -76,8 +76,8 @@ fn last_err() -> io::Error {
     io::Error::last_os_error()
 }
 
-fn cvt(ret: CInt) -> io::Result<CInt> {
-    if ret < 0 {
+fn cvt<T: PartialOrd + From<i8>>(ret: T) -> io::Result<T> {
+    if ret < T::from(0) {
         Err(last_err())
     } else {
         Ok(ret)
@@ -187,16 +187,19 @@ impl Epoll {
             // Round up so a 100µs timer does not busy-spin at timeout 0.
             Some(d) => d.as_millis().saturating_add(1).min(i32::MAX as u128) as CInt,
         };
-        let cap = events.len().min(i32::MAX as usize) as CInt;
         loop {
-            // Safety: `events` is valid writable memory for `cap` entries.
-            let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), cap, timeout_ms) };
-            if n >= 0 {
-                return Ok(n as usize);
-            }
-            let err = last_err();
-            if err.kind() != io::ErrorKind::Interrupted {
-                return Err(err);
+            // Safety: `events` is valid writable memory for its full length.
+            match cvt(unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as CInt,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => return Ok(n as usize),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err),
             }
         }
     }
@@ -240,16 +243,16 @@ impl EventFd {
     /// (`WouldBlock`) already guarantees a pending wake, so all errors
     /// are ignored.
     pub fn notify(&self) {
-        let one: u64 = 1;
-        // Safety: writes 8 bytes from a valid local.
-        let _ = unsafe { write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+        let buf = 1u64.to_ne_bytes();
+        // Safety: writes from a valid local buffer of its stated length.
+        let _ = unsafe { write(self.fd, buf.as_ptr(), buf.len()) };
     }
 
     /// Drains the counter so the next `notify` re-arms readiness.
     pub fn drain(&self) {
         let mut buf = [0u8; 8];
-        // Safety: reads at most 8 bytes into a valid local.
-        let _ = unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        // Safety: reads into a valid local buffer of its stated length.
+        let _ = unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
     }
 }
 
@@ -266,45 +269,47 @@ impl Drop for EventFd {
 /// Upper bound on iovecs per `writev` call (`IOV_MAX` on Linux is 1024).
 pub const MAX_IOVECS: usize = 1024;
 
-/// A borrowed write segment for [`writev_fd`].
-#[derive(Debug, Clone, Copy)]
-pub struct WriteSlice<'a>(&'a [u8]);
-
-impl<'a> WriteSlice<'a> {
-    /// Wraps one buffer as a vectored-write segment.
-    pub fn new(bytes: &'a [u8]) -> Self {
-        WriteSlice(bytes)
-    }
-}
-
-/// One vectored write: hands up to [`MAX_IOVECS`] segments to the kernel
-/// in a single `writev` syscall and returns how many bytes were accepted
-/// (possibly fewer than the total — the caller resumes from there).
+/// One vectored write: gathers up to [`MAX_IOVECS`] segments from the
+/// iterator into a stack iovec array and hands them to the kernel in a
+/// single `writev` syscall. Returns `(written, submitted)` — how many
+/// bytes the kernel accepted and how many were handed to it; `written <
+/// submitted` means the socket buffer filled mid-batch and the caller
+/// should wait for writability before resuming.
+///
+/// Taking the segments as an iterator keeps the flush path
+/// allocation-free: callers stream borrowed slices straight out of their
+/// frame queues instead of collecting them first.
 ///
 /// # Errors
 ///
-/// Propagates the kernel error; `WouldBlock` means the socket buffer is
-/// full and the caller should wait for writability.
-pub fn writev_fd(fd: RawFd, segs: &[WriteSlice<'_>]) -> io::Result<usize> {
+/// Propagates the kernel error; `WouldBlock` means no byte was accepted.
+pub fn writev_fd<'a>(
+    fd: RawFd,
+    segs: impl IntoIterator<Item = &'a [u8]>,
+) -> io::Result<(usize, usize)> {
     let mut iov = [IoVec {
         base: std::ptr::null(),
         len: 0,
     }; MAX_IOVECS];
-    let n = segs.len().min(MAX_IOVECS);
-    for (slot, seg) in iov.iter_mut().zip(segs.iter().take(n)) {
-        slot.base = seg.0.as_ptr();
-        slot.len = seg.0.len();
+    let mut n = 0usize;
+    let mut submitted = 0usize;
+    for (slot, seg) in iov.iter_mut().zip(segs) {
+        slot.base = seg.as_ptr();
+        slot.len = seg.len();
+        submitted += seg.len();
+        n += 1;
     }
+    if n == 0 {
+        return Ok((0, 0));
+    }
+    let iov = &iov[..n];
     loop {
-        // Safety: `iov[..n]` points at live borrowed slices for the
-        // duration of the call.
-        let written = unsafe { writev(fd, iov.as_ptr(), n as CInt) };
-        if written >= 0 {
-            return Ok(written as usize);
-        }
-        let err = last_err();
-        if err.kind() != io::ErrorKind::Interrupted {
-            return Err(err);
+        // Safety: `iov` points at live borrowed slices for the duration
+        // of the call.
+        match cvt(unsafe { writev(fd, iov.as_ptr(), iov.len() as CInt) }) {
+            Ok(written) => return Ok((written as usize, submitted)),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
         }
     }
 }
@@ -316,14 +321,11 @@ pub fn writev_fd(fd: RawFd, segs: &[WriteSlice<'_>]) -> io::Result<usize> {
 /// Propagates the kernel error; `WouldBlock` means no data is ready.
 pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
     loop {
-        // Safety: `buf` is valid writable memory of the given length.
-        let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
-        if n >= 0 {
-            return Ok(n as usize);
-        }
-        let err = last_err();
-        if err.kind() != io::ErrorKind::Interrupted {
-            return Err(err);
+        // Safety: `buf` is valid writable memory of its stated length.
+        match cvt(unsafe { read(fd, buf.as_mut_ptr(), buf.len()) }) {
+            Ok(n) => return Ok(n as usize),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
         }
     }
 }
@@ -387,7 +389,7 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<ConnectStart> {
     // and closes it on drop (including on the error paths below).
     let stream = unsafe { TcpStream::from_raw_fd(fd) };
 
-    let rc = match addr {
+    let res = match addr {
         SocketAddr::V4(v4) => {
             let sa = SockAddrIn {
                 family: AF_INET as u16,
@@ -396,13 +398,13 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<ConnectStart> {
                 zero: [0; 8],
             };
             // Safety: `sa` is a properly laid out sockaddr_in.
-            unsafe {
+            cvt(unsafe {
                 connect(
                     fd,
                     (&sa as *const SockAddrIn).cast(),
                     std::mem::size_of::<SockAddrIn>() as u32,
                 )
-            }
+            })
         }
         SocketAddr::V6(v6) => {
             let sa = SockAddrIn6 {
@@ -413,23 +415,19 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<ConnectStart> {
                 scope_id: v6.scope_id(),
             };
             // Safety: `sa` is a properly laid out sockaddr_in6.
-            unsafe {
+            cvt(unsafe {
                 connect(
                     fd,
                     (&sa as *const SockAddrIn6).cast(),
                     std::mem::size_of::<SockAddrIn6>() as u32,
                 )
-            }
+            })
         }
     };
-    if rc == 0 {
-        return Ok(ConnectStart::Ready(stream));
-    }
-    let err = last_err();
-    if err.raw_os_error() == Some(EINPROGRESS) {
-        Ok(ConnectStart::Pending(stream))
-    } else {
-        Err(err)
+    match res {
+        Ok(_) => Ok(ConnectStart::Ready(stream)),
+        Err(err) if err.raw_os_error() == Some(EINPROGRESS) => Ok(ConnectStart::Pending(stream)),
+        Err(err) => Err(err),
     }
 }
 
@@ -512,16 +510,13 @@ mod tests {
         };
         let (mut peer, _) = listener.accept().unwrap();
 
-        let written = writev_fd(
+        let (written, submitted) = writev_fd(
             stream.as_raw_fd(),
-            &[
-                WriteSlice::new(b"hel"),
-                WriteSlice::new(b""),
-                WriteSlice::new(b"lo, writev"),
-            ],
+            [b"hel".as_slice(), b"".as_slice(), b"lo, writev".as_slice()],
         )
         .unwrap();
         assert_eq!(written, 13);
+        assert_eq!(submitted, 13);
         let mut got = [0u8; 13];
         peer.read_exact(&mut got).unwrap();
         assert_eq!(&got, b"hello, writev");

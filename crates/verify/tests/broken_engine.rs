@@ -39,12 +39,10 @@ impl DeliveryEngine for EagerGraphDelivery {
         (env, released)
     }
 
-    fn on_receive(&mut self, env: Self::Envelope) -> Vec<Self::Envelope> {
+    fn on_receive_into(&mut self, env: Self::Envelope, out: &mut Vec<Self::Envelope>) {
         if self.seen.insert(env.id) {
             self.log.push(env.id);
-            vec![env] // dependencies? never heard of them
-        } else {
-            Vec::new()
+            out.push(env); // dependencies? never heard of them
         }
     }
 

@@ -13,7 +13,9 @@
 //!   looks like a module path segment (`frame::parse_hello`) or a
 //!   generic parameter (`E::decode`), they fall back to name-only
 //!   resolution. A concrete foreign type (`TcpStream::connect`) with no
-//!   workspace owner resolves to nothing;
+//!   workspace owner resolves to nothing. `Self::method(…)` resolves
+//!   against the calling function's own `impl` owner — across files,
+//!   since impl blocks for one type may be split;
 //! - **method calls** `x.flush(…)` resolve only when the receiver chain
 //!   is rooted at `self` — then to same-file functions of that name.
 //!   Other receivers are untyped here and resolving them by name alone
@@ -90,7 +92,16 @@ impl CallGraph {
             let Some((open, close)) = f.body else {
                 continue;
             };
-            calls[id] = extract_calls(&file.lexed, open, close, fr.file, &fns, &by_name, &by_owner);
+            calls[id] = extract_calls(
+                &file.lexed,
+                open,
+                close,
+                fr.file,
+                f.owner.as_deref(),
+                &fns,
+                &by_name,
+                &by_owner,
+            );
         }
         CallGraph {
             fns,
@@ -136,6 +147,7 @@ fn extract_calls(
     open: usize,
     close: usize,
     file_idx: usize,
+    caller_owner: Option<&str>,
     fns: &[FnRef],
     by_name: &HashMap<String, Vec<usize>>,
     by_owner: &HashMap<String, Vec<usize>>,
@@ -147,6 +159,15 @@ fn extract_calls(
             .filter(|&id| fns[id].file == file_idx)
             .collect()
     };
+    // Calls inside `unsafe { … }` blocks are FFI calls (the workspace
+    // confines unsafety to the syscall module); resolving them by bare
+    // name would link `read(fd, …)` to every workspace fn named `read`.
+    let mut unsafe_spans: Vec<(usize, usize)> = Vec::new();
+    for i in open..close.min(lexed.len()) {
+        if lexed.is_ident(i, "unsafe") && lexed.text_at(i + 1) == "{" {
+            unsafe_spans.push((i + 1, crate::analysis::parser::matching_close(lexed, i + 1)));
+        }
+    }
     for i in open..=close.min(lexed.len().saturating_sub(1)) {
         if lexed.kind_at(i) != Some(TokKind::Ident) || lexed.text_at(i + 1) != "(" {
             continue;
@@ -157,6 +178,14 @@ fn extract_calls(
         }
         // Macro head `name!(…)` is not a call.
         if i > 0 && lexed.text(i - 1) == "!" {
+            continue;
+        }
+        // Bare `drop(x)` is `std::mem::drop`, never a workspace
+        // `Drop::drop` (direct `Drop::drop` calls don't compile).
+        if name == "drop" && !(i > 0 && lexed.text(i - 1) == ".") {
+            continue;
+        }
+        if unsafe_spans.iter().any(|&(a, b)| a <= i && i <= b) {
             continue;
         }
         let resolved: Vec<usize> = if i > 0 && lexed.text(i - 1) == "." {
@@ -178,7 +207,19 @@ fn extract_calls(
             };
             let candidates = by_name.get(name).cloned().unwrap_or_default();
             if q == "Self" {
-                same_file(&candidates)
+                // `Self::name(…)` inside an impl block: resolve against
+                // the caller's own impl owner (any file — impl blocks
+                // for one type can be split across files), falling back
+                // to same-file name matching when the caller is a free
+                // fn (malformed, but keep the old over-approximation).
+                match caller_owner.and_then(|o| by_owner.get(o)) {
+                    Some(owned) => candidates
+                        .iter()
+                        .copied()
+                        .filter(|id| owned.contains(id))
+                        .collect(),
+                    None => same_file(&candidates),
+                }
             } else if let Some(owned) = by_owner.get(q) {
                 candidates
                     .iter()
@@ -345,6 +386,43 @@ mod tests {
         // stream.shutdown() stays unresolved.
         let callees = edge_names(&w, &g, "next");
         assert_eq!(callees, ["pop", "pop"]);
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_by_owner_across_files() {
+        let w = ws(&[
+            (
+                "crates/a/src/engine.rs",
+                "impl Engine { fn drive(&mut self) { Self::step(); } } \
+                 impl Other { fn step() {} }",
+            ),
+            // The second impl block of Engine lives in another file —
+            // `Self::step` must still find it, and must NOT link to
+            // `Other::step` in its own file.
+            (
+                "crates/a/src/engine_steps.rs",
+                "impl Engine { fn step() {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let drive = g.named("drive")[0];
+        let callees: Vec<_> = g.calls[drive]
+            .iter()
+            .map(|c| {
+                let fr = g.fns[c.callee];
+                (
+                    w.files[fr.file].path.clone(),
+                    w.files[fr.file].items.funcs[fr.func].owner.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            callees,
+            [(
+                "crates/a/src/engine_steps.rs".to_string(),
+                Some("Engine".to_string())
+            )]
+        );
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Statement-level control-flow graphs over parsed function bodies —
+//! the shared substrate for the dataflow passes (`hotpath`, `blocking`)
+//! and any future ones.
+//!
+//! Built purely on the parser's statement machinery: a function body is
+//! split into statements ([`crate::analysis::parser::statement_end`]
+//! boundaries), each
+//! statement becomes a node, and edges follow the source's control
+//! shape:
+//!
+//! - **sequence** — statement → next statement;
+//! - **branch** — an `if`/`else if`/`else` chain or `match` head fans
+//!   out to the first statement of each attached block, and every
+//!   branch's exits rejoin at the following statement;
+//! - **loop** — `while`/`for`/`loop` heads edge into the body, the
+//!   body's exits edge back to the head, and the head edges past the
+//!   loop (the condition-false path — kept even for bare `loop`, an
+//!   over-approximation in the sound direction for a gate);
+//! - **early return** — `return`/`break`/`continue` statements and
+//!   statements headed by a diverging macro (`panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!`) are terminators: no fall-through edge,
+//!   so code after them is unreachable from the entry.
+//!
+//! Joins are over-approximated (a branch head always reaches the join
+//! unless every path is a terminator *and* the chain ends in `else`);
+//! terminators are exact. Over-approximate reachability can only add
+//! findings, which the baseline documents — a missed edge would silently
+//! hide one, so every simplification here errs toward more edges.
+//!
+//! When a statement owns nested blocks that became child statements
+//! (branch bodies, loop bodies), the nested spans are recorded as
+//! *holes* so a token-scanning pass visits every token exactly once:
+//! the head node's own tokens are its span minus its holes.
+
+use crate::analysis::lexer::Lexed;
+use crate::analysis::parser::{matching_close, statement_end};
+
+/// Macros whose expansion diverges: a statement headed by one never
+/// falls through.
+pub const DIVERGING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One statement node.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// First token of the statement.
+    pub start: usize,
+    /// Last token of the statement (inclusive).
+    pub end: usize,
+    /// Successor statement ids.
+    pub succs: Vec<usize>,
+    /// Spans of nested blocks owned by child statements — excluded from
+    /// this node's own tokens.
+    pub holes: Vec<(usize, usize)>,
+    /// True for `return`/`break`/`continue`/diverging-macro statements.
+    pub terminator: bool,
+}
+
+/// The statement graph of one function body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Statements in creation (≈ source) order.
+    pub stmts: Vec<Stmt>,
+    /// Entry statement, if the body is non-empty.
+    pub entry: Option<usize>,
+    /// Build-time scratch: branch exits of a head statement, stashed
+    /// between `lower_stmt` and `stmt_exits`, with a flag for whether
+    /// the head itself also falls through to the join (missing `else`,
+    /// empty branch, expression-bodied `match` arm). Empty once
+    /// `build` returns.
+    join_exits: std::collections::HashMap<usize, (Vec<usize>, bool)>,
+}
+
+/// Flow summary of a lowered block: its first statement (if any) and
+/// the statements whose control falls out of the block's end.
+struct BlockFlow {
+    first: Option<usize>,
+    exits: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for the body delimited by `open` (`{`) and `close`
+    /// (its matching `}`).
+    pub fn build(lexed: &Lexed, open: usize, close: usize) -> Cfg {
+        let mut cfg = Cfg {
+            stmts: Vec::new(),
+            entry: None,
+            join_exits: std::collections::HashMap::new(),
+        };
+        let flow = cfg.lower_block(lexed, open, close);
+        cfg.entry = flow.first;
+        cfg
+    }
+
+    /// Reachability from the entry statement.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.stmts.len()];
+        let mut stack: Vec<usize> = self.entry.into_iter().collect();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id], true) {
+                continue;
+            }
+            for &s in &self.stmts[id].succs {
+                if !seen[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The generic reachable-facts walker: visits every statement
+    /// reachable from the entry, in source order, and collects whatever
+    /// facts `f` derives from it. Unreachable statements (code after a
+    /// `return` or a diverging macro) are never visited.
+    pub fn reachable_facts<T>(&self, mut f: impl FnMut(&Stmt) -> Vec<T>) -> Vec<T> {
+        let live = self.reachable();
+        let mut out = Vec::new();
+        for (id, stmt) in self.stmts.iter().enumerate() {
+            if live[id] {
+                out.extend(f(stmt));
+            }
+        }
+        out
+    }
+
+    /// Token indices owned by statement `id`: its span minus the holes
+    /// occupied by child statements.
+    pub fn own_tokens<'a>(&'a self, stmt: &'a Stmt) -> impl Iterator<Item = usize> + 'a {
+        (stmt.start..=stmt.end).filter(move |&i| !stmt.holes.iter().any(|&(a, b)| a <= i && i <= b))
+    }
+
+    /// Lowers the block `open..close` into statements; returns its flow.
+    fn lower_block(&mut self, lexed: &Lexed, open: usize, close: usize) -> BlockFlow {
+        let mut first = None;
+        // Statements whose fall-through lands on whatever comes next.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut at_entry = true;
+        let mut i = open + 1;
+        while i < close {
+            if lexed.text(i) == ";" {
+                i += 1;
+                continue;
+            }
+            let end = statement_end(lexed, i).min(close.saturating_sub(1));
+            let id = self.lower_stmt(lexed, i, end);
+            if at_entry {
+                first = Some(id);
+                at_entry = false;
+            }
+            for p in pending.drain(..) {
+                self.stmts[p].succs.push(id);
+            }
+            pending = self.stmt_exits(lexed, id);
+            i = end.max(i) + 1;
+        }
+        BlockFlow {
+            first,
+            exits: pending,
+        }
+    }
+
+    /// Creates the node for the statement spanning `start..=end` and
+    /// lowers any attached blocks (branch/loop bodies) as children.
+    fn lower_stmt(&mut self, lexed: &Lexed, start: usize, end: usize) -> usize {
+        let head = lexed.text_at(start).to_string();
+        let terminator = matches!(head.as_str(), "return" | "break" | "continue")
+            || (DIVERGING_MACROS.contains(&head.as_str()) && lexed.text_at(start + 1) == "!");
+        let id = self.stmts.len();
+        self.stmts.push(Stmt {
+            start,
+            end,
+            succs: Vec::new(),
+            holes: Vec::new(),
+            terminator,
+        });
+        match head.as_str() {
+            "if" | "while" | "for" | "loop" | "unsafe" | "{" => {
+                self.lower_branches(lexed, id, &head, start, end);
+            }
+            "match" => self.lower_match_arms(lexed, id, start, end),
+            _ => {}
+        }
+        id
+    }
+
+    /// Attached blocks of an `if`/`else` chain, loop, or plain block:
+    /// lowers each as a child block, records holes, and wires edges.
+    /// Returns nothing; exits are reconstructed by [`Self::stmt_exits`].
+    fn lower_branches(&mut self, lexed: &Lexed, id: usize, head: &str, start: usize, end: usize) {
+        let is_loop = matches!(head, "while" | "for" | "loop");
+        let mut branch_exits: Vec<usize> = Vec::new();
+        let mut saw_final_else = false;
+        // Does the head itself fall through to the join? Starts true
+        // only once a path around the branches exists.
+        let mut fallthrough = false;
+        let mut j = if head == "{" { start } else { start + 1 };
+        while j <= end {
+            let t = lexed.text_at(j);
+            if t == "{" {
+                let close = matching_close(lexed, j).min(end);
+                self.stmts[id].holes.push((j + 1, close.saturating_sub(1)));
+                let flow = self.lower_block(lexed, j, close);
+                match flow.first {
+                    Some(f) => {
+                        self.stmts[id].succs.push(f);
+                        branch_exits.extend(flow.exits);
+                    }
+                    // An empty block falls straight through the head.
+                    None => fallthrough = true,
+                }
+                j = close + 1;
+                // `else` / `else if` continues the chain.
+                if head == "if" && lexed.text_at(j) == "else" {
+                    if lexed.text_at(j + 1) != "if" {
+                        saw_final_else = true;
+                    }
+                    j += 1;
+                    continue;
+                }
+                break; // loops and plain blocks own exactly one block
+            }
+            if matches!(t, "(" | "[") {
+                j = matching_close(lexed, j) + 1;
+                continue;
+            }
+            j += 1;
+        }
+        if is_loop {
+            // Body exits loop back to the head; the head always also
+            // falls past the loop (over-approximation for bare `loop`),
+            // which `stmt_exits` provides via the default `vec![id]`.
+            for e in branch_exits {
+                self.stmts[e].succs.push(id);
+            }
+        } else {
+            // An `if` without a final `else` has a condition-false path
+            // around every branch.
+            if head == "if" && !saw_final_else {
+                fallthrough = true;
+            }
+            self.stmts[id].holes.sort_unstable();
+            // Branch exits rejoin after the statement; stash them on the
+            // head so `stmt_exits` can hand them to the block lowerer.
+            self.join_exits.insert(id, (branch_exits, fallthrough));
+        }
+    }
+
+    /// Arm bodies of a `match` statement: every braced arm body at arm
+    /// level becomes a child block reachable from the head.
+    fn lower_match_arms(&mut self, lexed: &Lexed, id: usize, start: usize, end: usize) {
+        // Find the match's own `{` (skipping the scrutinee's groups).
+        let mut j = start + 1;
+        let mut body_open = None;
+        while j <= end {
+            let t = lexed.text_at(j);
+            if t == "{" {
+                body_open = Some(j);
+                break;
+            }
+            if matches!(t, "(" | "[") {
+                j = matching_close(lexed, j) + 1;
+                continue;
+            }
+            j += 1;
+        }
+        let Some(body_open) = body_open else { return };
+        let body_close = matching_close(lexed, body_open).min(end);
+        let mut branch_exits: Vec<usize> = Vec::new();
+        let mut k = body_open + 1;
+        while k < body_close {
+            let t = lexed.text(k);
+            if t == "{" {
+                // A braced arm body (or a block inside an arm expression
+                // — indistinguishable lexically, and lowering either as
+                // a child is sound).
+                let close = matching_close(lexed, k).min(body_close);
+                self.stmts[id].holes.push((k + 1, close.saturating_sub(1)));
+                let flow = self.lower_block(lexed, k, close);
+                if let Some(f) = flow.first {
+                    self.stmts[id].succs.push(f);
+                    branch_exits.extend(flow.exits);
+                }
+                k = close + 1;
+                continue;
+            }
+            if matches!(t, "(" | "[") {
+                k = matching_close(lexed, k) + 1;
+                continue;
+            }
+            k += 1;
+        }
+        self.stmts[id].holes.sort_unstable();
+        // Expression-bodied arms are tokens of the head itself, so the
+        // head always falls through to the join.
+        self.join_exits.insert(id, (branch_exits, true));
+    }
+
+    /// Fall-through exits of statement `id`.
+    fn stmt_exits(&mut self, _lexed: &Lexed, id: usize) -> Vec<usize> {
+        if self.stmts[id].terminator {
+            return Vec::new();
+        }
+        if let Some((branch_exits, fallthrough)) = self.join_exits.remove(&id) {
+            let mut exits = branch_exits;
+            if fallthrough {
+                exits.push(id);
+            }
+            exits.sort_unstable();
+            exits.dedup();
+            return exits;
+        }
+        vec![id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(body: &str) -> (Lexed, Cfg) {
+        let src = format!("fn f() {body}");
+        let lexed = Lexed::new(src);
+        let items = crate::analysis::parser::parse(&lexed);
+        let (open, close) = items.funcs[0].body.expect("body");
+        let cfg = Cfg::build(&lexed, open, close);
+        (lexed, cfg)
+    }
+
+    /// Source text of each reachable statement's first token.
+    fn reachable_heads(lexed: &Lexed, cfg: &Cfg) -> Vec<String> {
+        cfg.reachable_facts(|s| vec![lexed.text_at(s.start).to_string()])
+    }
+
+    #[test]
+    fn straight_line_sequence() {
+        let (lexed, cfg) = cfg_of("{ a(); b(); c(); }");
+        assert_eq!(cfg.stmts.len(), 3);
+        assert_eq!(reachable_heads(&lexed, &cfg), ["a", "b", "c"]);
+        assert_eq!(cfg.stmts[0].succs, [1]);
+        assert_eq!(cfg.stmts[1].succs, [2]);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let (lexed, cfg) = cfg_of("{ a(); return x; dead(); }");
+        assert_eq!(reachable_heads(&lexed, &cfg), ["a", "return"]);
+    }
+
+    #[test]
+    fn code_after_diverging_macro_is_unreachable() {
+        let (lexed, cfg) = cfg_of("{ unreachable!(\"nope\"); dead(); }");
+        assert_eq!(reachable_heads(&lexed, &cfg), ["unreachable"]);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let (lexed, cfg) = cfg_of("{ if c { a(); } after(); }");
+        // if-head reaches both the branch and the join.
+        assert_eq!(reachable_heads(&lexed, &cfg), ["if", "a", "after"]);
+        let if_head = &cfg.stmts[0];
+        assert_eq!(if_head.succs.len(), 2);
+    }
+
+    #[test]
+    fn returns_in_both_branches_kill_the_join() {
+        let (lexed, cfg) = cfg_of("{ if c { return a; } else { return b; } dead(); }");
+        assert_eq!(reachable_heads(&lexed, &cfg), ["if", "return", "return"]);
+    }
+
+    #[test]
+    fn else_if_chain_without_final_else_reaches_join() {
+        let (lexed, cfg) = cfg_of("{ if c { return a; } else if d { return b; } after(); }");
+        assert!(reachable_heads(&lexed, &cfg).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn loop_body_cycles_and_exits() {
+        let (lexed, cfg) = cfg_of("{ while c { body(); } after(); }");
+        assert_eq!(reachable_heads(&lexed, &cfg), ["while", "body", "after"]);
+        // back edge: body -> while head
+        let body = cfg
+            .stmts
+            .iter()
+            .position(|s| lexed.text_at(s.start) == "body")
+            .unwrap();
+        assert!(cfg.stmts[body].succs.contains(&0));
+    }
+
+    #[test]
+    fn match_arms_fan_out_and_rejoin() {
+        let (lexed, cfg) =
+            cfg_of("{ match x { A => { a(); } B => { return b; } _ => c(), } after(); }");
+        let heads = reachable_heads(&lexed, &cfg);
+        assert!(heads.contains(&"a".to_string()));
+        assert!(heads.contains(&"return".to_string()));
+        assert!(heads.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn holes_exclude_child_tokens() {
+        let (lexed, cfg) = cfg_of("{ if c { inner(); } tail(); }");
+        let head = &cfg.stmts[0];
+        let own: Vec<&str> = cfg.own_tokens(head).map(|i| lexed.text(i)).collect();
+        assert!(own.contains(&"if"));
+        assert!(!own.contains(&"inner"), "{own:?}");
+    }
+
+    #[test]
+    fn unsafe_block_statement_lowers_children() {
+        let (lexed, cfg) = cfg_of("{ unsafe { a(); } tail(); }");
+        assert_eq!(reachable_heads(&lexed, &cfg), ["unsafe", "a", "tail"]);
+    }
+}

@@ -258,7 +258,10 @@ pub fn lock_graph(ws: &Workspace, graph: &CallGraph) -> LockGraph {
 }
 
 /// How far the guard acquired at `tok` lives, as a token index.
-fn hold_region_end(file: &crate::analysis::SourceFile, tok: usize) -> usize {
+/// Last token of the region over which the guard acquired at `tok` is
+/// held, per Rust's temporary-lifetime rules (also used by the
+/// `reactor-blocking` pass to ask what runs under the lock).
+pub fn hold_region_end(file: &crate::analysis::SourceFile, tok: usize) -> usize {
     let start = parser::statement_start(&file.lexed, tok);
     match file.lexed.text_at(start) {
         // A `let` may bind the guard itself; conservatively hold it to

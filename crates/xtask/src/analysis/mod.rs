@@ -10,6 +10,14 @@
 //! | `wire-panic` ([`wirepanic`]) | no panic site is reachable from a decode entry point fed attacker bytes |
 //! | `lock-order` ([`locks`]) | the cross-crate `Mutex` acquisition-order graph is acyclic (no static deadlock) |
 //! | `layering` ([`layering`]) | `StackWire`/`Command` variants are constructed and consumed only by their declared layers, and nothing outside the runtimes touches `Transport` |
+//! | `hotpath-alloc` ([`hotpath`]) | no heap allocation is reachable from the declared flood-path roots |
+//! | `reactor-blocking` ([`blocking`]) | no blocking call (or lock held across a syscall) runs on a shard thread |
+//! | `unsafe-ffi` ([`unsafeffi`]) | every `unsafe` block is a single, ptr/len-paired, result-checked FFI call in `net/src/sys.rs`, listed in the `--json` inventory |
+//!
+//! The statement-level dataflow passes (`hotpath-alloc`,
+//! `reactor-blocking`) share the [`mod@cfg`] layer: a per-function
+//! statement CFG with branch/loop/early-return edges and a generic
+//! reachable-facts walker.
 //!
 //! Vetted exceptions live in the committed `lint-allow.toml` baseline
 //! ([`allow`]); stale entries fail the gate so the baseline cannot rot.
@@ -17,13 +25,17 @@
 //! [`report`].
 
 pub mod allow;
+pub mod blocking;
 pub mod callgraph;
+pub mod cfg;
+pub mod hotpath;
 pub mod layering;
 pub mod lexer;
 pub mod locks;
 pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod unsafeffi;
 pub mod wirepanic;
 
 use lexer::Lexed;
@@ -166,8 +178,15 @@ fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<
     Ok(())
 }
 
+/// The documented finding order: (rule, path, line) — stable across
+/// runs and machines so downstream tooling can diff outputs.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.rule, a.path.as_str(), a.line).cmp(&(b.rule, b.path.as_str(), b.line)));
+}
+
 /// Runs every analysis with no baseline applied. Findings are sorted by
-/// path, line, rule.
+/// (rule, path, line).
 pub fn analyze_raw(ws: &Workspace) -> Vec<Finding> {
     let graph = callgraph::CallGraph::build(ws);
     let mut findings = Vec::new();
@@ -175,15 +194,21 @@ pub fn analyze_raw(ws: &Workspace) -> Vec<Finding> {
     findings.extend(layering::check(ws));
     findings.extend(wirepanic::audit(ws, &graph));
     findings.extend(locks::check(ws, &graph));
-    findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings.extend(hotpath::check(ws, &graph));
+    findings.extend(blocking::check(ws, &graph));
+    findings.extend(unsafeffi::check(ws));
+    sort_findings(&mut findings);
     findings
 }
 
 /// Runs every analysis and applies the baseline: findings matched by an
 /// allow entry are suppressed; allow entries that matched nothing become
 /// `stale-allow` findings so the baseline cannot outlive its reasons.
+/// The result is re-sorted so appended `stale-allow` findings keep the
+/// output in the documented (rule, path, line) order.
 pub fn analyze(ws: &Workspace, allow_list: &allow::AllowList) -> Vec<Finding> {
     let raw = analyze_raw(ws);
-    allow_list.apply(raw)
+    let mut out = allow_list.apply(raw);
+    sort_findings(&mut out);
+    out
 }

@@ -9,6 +9,7 @@
 //! - **github** (`--github`) — `::error file=…,line=…::…` workflow
 //!   commands so CI findings land as inline annotations on the PR diff.
 
+use crate::analysis::unsafeffi::InventoryEntry;
 use crate::analysis::Finding;
 use std::fmt::Write as _;
 
@@ -27,9 +28,18 @@ pub enum Format {
 /// complete output including the trailing newline (empty findings render
 /// an empty-but-valid document in every format).
 pub fn render(findings: &[Finding], format: Format) -> String {
+    render_full(findings, &[], format)
+}
+
+/// Like [`render`], with the unsafe-FFI inventory included: the JSON
+/// document gains an `unsafe_ffi_inventory` array (the schema is
+/// specified in `docs/lint-json-schema.md`); human and GitHub output
+/// are unchanged — the inventory is machine-diff material, not
+/// annotation material.
+pub fn render_full(findings: &[Finding], inventory: &[InventoryEntry], format: Format) -> String {
     match format {
         Format::Human => human(findings),
-        Format::Json => json(findings),
+        Format::Json => json(findings, inventory),
         Format::Github => github(findings),
     }
 }
@@ -49,7 +59,7 @@ fn human(findings: &[Finding]) -> String {
     out
 }
 
-fn json(findings: &[Finding]) -> String {
+fn json(findings: &[Finding], inventory: &[InventoryEntry]) -> String {
     let mut out = String::from("{\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -65,7 +75,23 @@ fn json(findings: &[Finding]) -> String {
             json_str(&f.detail)
         );
     }
-    let _ = writeln!(out, "],\"count\":{}}}", findings.len());
+    let _ = write!(out, "],\"count\":{}", findings.len());
+    let _ = write!(out, ",\"unsafe_ffi_inventory\":[");
+    for (i, e) in inventory.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"func\":{},\"path\":{},\"line\":{},\"callee\":{},\"check\":{}}}",
+            json_str(&e.func),
+            json_str(&e.path),
+            e.line,
+            json_str(&e.callee),
+            json_str(&e.check)
+        );
+    }
+    out.push_str("]}\n");
     out
 }
 
@@ -146,7 +172,30 @@ mod tests {
         assert!(out.contains("\"count\":1"));
         assert!(out.contains("\\\"slice\\\""), "{out}");
         assert!(out.ends_with("}\n"));
-        assert_eq!(render(&[], Format::Json), "{\"findings\":[],\"count\":0}\n");
+        assert_eq!(
+            render(&[], Format::Json),
+            "{\"findings\":[],\"count\":0,\"unsafe_ffi_inventory\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn json_inventory_is_emitted() {
+        let inv = vec![InventoryEntry {
+            func: "drain".to_string(),
+            path: "crates/net/src/sys.rs".to_string(),
+            line: 9,
+            callee: "read".to_string(),
+            check: "cvt-checked; ptr/len paired (buf)".to_string(),
+        }];
+        let out = render_full(&[], &inv, Format::Json);
+        assert!(
+            out.contains("\"unsafe_ffi_inventory\":[{\"func\":\"drain\""),
+            "{out}"
+        );
+        assert!(out.contains("\"callee\":\"read\""));
+        // Human/GitHub output is unchanged by the inventory.
+        assert_eq!(render_full(&[], &inv, Format::Human), "lint: no findings\n");
+        assert_eq!(render_full(&[], &inv, Format::Github), "");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! Commands:
 //! - `lint [--json|--github]` — the static-analysis gate (see
 //!   [`xtask::analysis`] for the rules: determinism, wire-panic,
-//!   lock-order, layering). Applies the `lint-allow.toml` baseline and
-//!   exits nonzero on any finding, so CI can use it directly.
+//!   lock-order, layering, hotpath-alloc, reactor-blocking,
+//!   unsafe-ffi). Applies the `lint-allow.toml` baseline and exits
+//!   nonzero on any finding, so CI can use it directly. `--json` also
+//!   emits the unsafe-FFI inventory (schema:
+//!   `docs/lint-json-schema.md`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -46,14 +49,17 @@ fn run_lint(format: report::Format) -> ExitCode {
         }
     };
     let findings = analysis::analyze(&ws, &baseline);
-    print!("{}", report::render(&findings, format));
+    let inventory = analysis::unsafeffi::inventory(&ws);
+    print!("{}", report::render_full(&findings, &inventory, format));
     if findings.is_empty() {
         if format == report::Format::Human {
             println!(
-                "rules: determinism, wire-panic, lock-order, layering \
-                 ({} files, {} baseline entries)",
+                "rules: determinism, wire-panic, lock-order, layering, \
+                 hotpath-alloc, reactor-blocking, unsafe-ffi \
+                 ({} files, {} baseline entries, {} audited unsafe blocks)",
                 ws.files.len(),
-                baseline.entries.len()
+                baseline.entries.len(),
+                inventory.len()
             );
         }
         ExitCode::SUCCESS

@@ -179,6 +179,127 @@ fn determinism_fixture_fails_the_gate() {
 }
 
 #[test]
+fn hotpath_alloc_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/net/src/reactor.rs",
+        include_str!("fixtures/hotpath_alloc.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let allocs: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "hotpath-alloc")
+        .collect();
+    assert_eq!(allocs.len(), 2, "{findings:?}");
+    // One directly in a root, one only reachable through the call graph.
+    assert!(
+        allocs
+            .iter()
+            .any(|f| f.detail.contains("Vec::with_capacity")
+                && f.detail.contains("Shard::flush_conn"))
+    );
+    assert!(allocs
+        .iter()
+        .any(|f| f.detail.contains(".to_vec()") && f.detail.contains("Shard::step")));
+    // The vec! in cold_setup sits outside the cone and stays unflagged.
+    assert!(
+        !findings.iter().any(|f| f.detail.contains("cold_setup")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn reactor_blocking_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/net/src/reactor.rs",
+        include_str!("fixtures/reactor_blocking.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let blocking: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "reactor-blocking")
+        .collect();
+    assert_eq!(blocking.len(), 2, "{findings:?}");
+    assert!(blocking
+        .iter()
+        .any(|f| f.detail.contains("`.recv()`") && f.detail.contains("Shard::run")));
+    assert!(blocking
+        .iter()
+        .any(|f| f.detail.contains("held across") && f.detail.contains("sys::writev_fd")));
+    // Off-shard blocking in driver_thread stays unflagged.
+    assert!(
+        !findings.iter().any(|f| f.detail.contains("driver_thread")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_ffi_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[
+        (
+            "crates/net/src/sys.rs",
+            include_str!("fixtures/unsafe_ffi.rs"),
+        ),
+        (
+            "crates/core/src/stack.rs",
+            "fn sneak(p: *const u8) -> u8 { unsafe { *p } }",
+        ),
+    ]);
+    let findings = analysis::analyze_raw(&ws);
+    let ffi: Vec<_> = findings.iter().filter(|f| f.rule == "unsafe-ffi").collect();
+    assert!(
+        ffi.iter()
+            .any(|f| f.detail.contains("no matching `a.len()`")),
+        "{findings:?}"
+    );
+    assert!(
+        ffi.iter()
+            .any(|f| f.detail.contains("neither `cvt`-checked")),
+        "{findings:?}"
+    );
+    assert!(
+        ffi.iter()
+            .any(|f| f.detail.contains("outside the audited FFI module")),
+        "{findings:?}"
+    );
+    // Every audited-module block lands in the inventory — including the
+    // clean one, which produced no finding.
+    let inv = analysis::unsafeffi::inventory(&ws);
+    assert_eq!(inv.len(), 3, "{inv:?}");
+    assert!(inv
+        .iter()
+        .any(|e| e.func == "well_behaved" && e.check == "cvt-checked; ptr/len paired (buf)"));
+}
+
+#[test]
+fn unsafe_ffi_inventory_covers_every_sys_unsafe_block() {
+    let ws = real_workspace();
+    let inv = analysis::unsafeffi::inventory(&ws);
+    let sys = std::fs::read_to_string(repo_root().join("crates/net/src/sys.rs"))
+        .expect("read crates/net/src/sys.rs");
+    let raw_count = sys.matches("unsafe {").count();
+    assert!(raw_count > 0, "sys.rs lost its unsafe blocks?");
+    assert_eq!(
+        inv.len(),
+        raw_count,
+        "inventory must cover 100% of sys.rs unsafe blocks"
+    );
+    assert!(inv.iter().all(|e| e.path == "crates/net/src/sys.rs"));
+}
+
+#[test]
+fn findings_are_deterministically_ordered() {
+    let ws = real_workspace();
+    let key = |f: &xtask::analysis::Finding| (f.rule, f.path.clone(), f.line);
+    let keys: Vec<_> = analysis::analyze_raw(&ws).iter().map(key).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must sort by (rule, path, line)");
+    // And byte-stable across runs over the same sources.
+    let again: Vec<_> = analysis::analyze_raw(&ws).iter().map(key).collect();
+    assert_eq!(keys, again);
+}
+
+#[test]
 fn json_output_round_trips_the_fixture_findings() {
     let ws = fixture_ws(&[(
         "crates/net/src/frame.rs",
@@ -187,9 +308,10 @@ fn json_output_round_trips_the_fixture_findings() {
     let findings = analysis::analyze_raw(&ws);
     let json = report::render(&findings, report::Format::Json);
     assert!(json.starts_with("{\"findings\":["));
-    assert!(json
-        .trim_end()
-        .ends_with(&format!("\"count\":{}}}", findings.len())));
+    assert!(json.trim_end().ends_with(&format!(
+        "\"count\":{},\"unsafe_ffi_inventory\":[]}}",
+        findings.len()
+    )));
     assert!(json.contains("\"rule\":\"wire-panic\""));
     assert!(json.contains("\"path\":\"crates/net/src/frame.rs\""));
     // The GitHub renderer emits one annotation per finding.

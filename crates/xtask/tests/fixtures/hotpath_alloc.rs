@@ -1,0 +1,32 @@
+//! Bad fixture for `hotpath-alloc`: heap allocations reachable from the
+//! shard flood-path roots. Loaded under the real reactor path so the
+//! declared `Shard::run` / `Shard::flush_conn` / `pump_inbound` roots
+//! resolve.
+
+impl Shard {
+    fn run(&mut self) {
+        self.step();
+        self.flush_conn();
+    }
+
+    fn flush_conn(&mut self) {
+        // Direct allocation in a root.
+        let scratch = Vec::with_capacity(64);
+        self.push(scratch);
+    }
+
+    fn step(&mut self) {
+        // Allocation in a callee of the root — only reachable through
+        // the call graph.
+        let copy = self.frame.to_vec();
+        self.push(copy);
+    }
+
+    fn cold_setup(&mut self) {
+        // NOT reachable from any root: must not be flagged.
+        let table = vec![0u8; 4096];
+        self.push(table);
+    }
+}
+
+fn pump_inbound() {}

@@ -1,0 +1,27 @@
+//! Bad fixture for `reactor-blocking`: blocking operations on a shard
+//! thread. Loaded under the real reactor path so the `Shard::run` root
+//! resolves.
+
+impl Shard {
+    fn run(&mut self) {
+        // Channel receive parks the whole shard.
+        let cmd = self.inbox.recv();
+        self.apply(cmd);
+        self.flush(self.fd);
+    }
+
+    fn flush(&mut self, fd: i32) {
+        // Lock held across a syscall couples unrelated connections.
+        let q = self.queue.lock().unwrap();
+        sys::writev_fd(fd, q.head());
+    }
+
+    fn flush_conn(&mut self) {}
+}
+
+fn pump_inbound() {}
+
+fn driver_thread(rx: Receiver) {
+    // Off-shard blocking is fine: not reachable from the roots.
+    let _ = rx.recv();
+}

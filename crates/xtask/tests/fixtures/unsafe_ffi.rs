@@ -1,0 +1,33 @@
+//! Bad fixture for `unsafe-ffi`: audited-module blocks that violate the
+//! pointer/length and result disciplines. Loaded under the real
+//! `crates/net/src/sys.rs` path so the per-block audit (not just
+//! containment) runs.
+
+extern "C" {
+    fn write(fd: i32, buf: *const u8, n: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: isize) -> Result<isize, Error> {
+    if ret < 0 {
+        Err(last_err())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn crossed_streams(fd: i32, a: &[u8], b: &[u8]) {
+    // `a.as_ptr()` paired with `b.len()`: the classic copy-paste bug the
+    // pairing rule exists to catch.
+    let _ = cvt(unsafe { write(fd, a.as_ptr(), b.len()) });
+}
+
+fn silent_close(fd: i32) {
+    // Result neither cvt-checked nor `let _ =`-discarded.
+    unsafe { close(fd) };
+}
+
+fn well_behaved(fd: i32, buf: &[u8]) {
+    // Clean block: lands in the inventory but yields no finding.
+    let _ = cvt(unsafe { write(fd, buf.as_ptr(), buf.len()) });
+}
