@@ -143,6 +143,59 @@ proptest! {
         }
     }
 
+    /// The unsequenced link control frames — `Ack`, `Ping`, `Pong` —
+    /// face the same adversary as the data frames. These are the arms
+    /// the `wire-symmetry` lint reasons about structurally; here the
+    /// claim is dynamic: each round-trips exactly, every proper prefix
+    /// is rejected, and one-byte corruptions never panic (re-encoding
+    /// whatever still decodes, so no half-parsed state escapes).
+    #[test]
+    fn pc_link_control_frames_survive_truncation_and_corruption(
+        stream_seq in 1u64..1024,
+        token in any::<u64>(),
+        cum in any::<u64>(),
+        delivered in proptest::collection::vec((0u32..16, 1u64..1024), 0..6),
+        flip in any::<u8>(),
+    ) {
+        let bodies: Vec<LinkBody<Timed<PcEnvelope<u64>>>> = vec![
+            LinkBody::Ack { cum },
+            LinkBody::Ping { token },
+            LinkBody::Pong {
+                token,
+                delivered: delivered
+                    .iter()
+                    .map(|&(o, wm)| (ProcessId::new(o), wm))
+                    .collect(),
+            },
+        ];
+        for body in bodies {
+            let msg: StackWire<PcEnvelope<u64>> = StackWire::Link(LinkFrame {
+                seq: stream_seq,
+                body,
+            });
+            let full = msg.to_wire();
+            // Exact round-trip: the control frame decodes to a value that
+            // re-encodes byte-identically (field order symmetry, dynamically).
+            let decoded = <StackWire<PcEnvelope<u64>>>::from_wire(&full);
+            prop_assert!(decoded.is_ok());
+            prop_assert_eq!(decoded.expect("checked").to_wire(), full.clone());
+            for cut in 0..full.len() {
+                prop_assert!(
+                    <StackWire<PcEnvelope<u64>>>::from_wire(&full[..cut]).is_err(),
+                    "truncation to {cut} bytes decoded successfully"
+                );
+                let _ = decode_all(&full[..cut]);
+            }
+            for pos in 0..full.len() {
+                let mut mutated = full.clone();
+                mutated[pos] ^= flip | 1;
+                if let Ok(decoded) = <StackWire<PcEnvelope<u64>>>::from_wire(&mutated) {
+                    let _ = decoded.to_wire();
+                }
+            }
+        }
+    }
+
     /// Trailing garbage after a valid encoding is rejected by from_wire.
     #[test]
     fn trailing_bytes_rejected(

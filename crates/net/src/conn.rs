@@ -288,8 +288,12 @@ impl LinkState {
 
     /// Marks the link as having connected at least once; returns whether
     /// it already had (i.e. this establishment is a *re*connect).
+    ///
+    /// AcqRel: the "was this a reconnect" answer orders against the
+    /// connection state published by whichever thread established the
+    /// previous episode.
     pub(crate) fn mark_connected(&self) -> bool {
-        self.ever_connected.swap(true, Ordering::Relaxed)
+        self.ever_connected.swap(true, Ordering::AcqRel)
     }
 
     pub(crate) fn record_reconnect(&self) {

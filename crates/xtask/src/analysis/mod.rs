@@ -13,11 +13,17 @@
 //! | `hotpath-alloc` ([`hotpath`]) | no heap allocation is reachable from the declared flood-path roots |
 //! | `reactor-blocking` ([`blocking`]) | no blocking call (or lock held across a syscall) runs on a shard thread |
 //! | `unsafe-ffi` ([`unsafeffi`]) | every `unsafe` block is a single, ptr/len-paired, result-checked FFI call in `net/src/sys.rs`, listed in the `--json` inventory |
+//! | `bounded-growth` ([`growth`]) | every growable collection field in long-lived protocol state has a shrink site reachable from a declared stability/ack/GC/teardown root |
+//! | `atomic-ordering` ([`atomics`]) | `Relaxed` only on pure counters; guard atomics use Acquire/Release pairs and CAS sites spell out sound success/failure orderings |
+//! | `wire-symmetry` ([`wiresym`]) | each codec's tag→variant maps agree between encode and decode, tag values are unique per family, and field orders match |
 //!
 //! The statement-level dataflow passes (`hotpath-alloc`,
 //! `reactor-blocking`) share the [`mod@cfg`] layer: a per-function
 //! statement CFG with branch/loop/early-return edges and a generic
-//! reachable-facts walker.
+//! reachable-facts walker. The state passes (`bounded-growth`,
+//! `atomic-ordering`) share the [`fields`] layer: a workspace field
+//! table with container/atomic classification and per-field operation
+//! sites.
 //!
 //! Vetted exceptions live in the committed `lint-allow.toml` baseline
 //! ([`allow`]); stale entries fail the gate so the baseline cannot rot.
@@ -25,9 +31,12 @@
 //! [`report`].
 
 pub mod allow;
+pub mod atomics;
 pub mod blocking;
 pub mod callgraph;
 pub mod cfg;
+pub mod fields;
+pub mod growth;
 pub mod hotpath;
 pub mod layering;
 pub mod lexer;
@@ -37,6 +46,7 @@ pub mod report;
 pub mod rules;
 pub mod unsafeffi;
 pub mod wirepanic;
+pub mod wiresym;
 
 use lexer::Lexed;
 use parser::FileItems;
@@ -185,20 +195,140 @@ pub fn sort_findings(findings: &mut [Finding]) {
         .sort_by(|a, b| (a.rule, a.path.as_str(), a.line).cmp(&(b.rule, b.path.as_str(), b.line)));
 }
 
+/// One entry in the machine-readable rule inventory behind
+/// `cargo xtask lint --list-rules` (CI consumes this instead of a
+/// hand-maintained list that silently drifts).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule id as it appears on findings.
+    pub id: &'static str,
+    /// One-line summary of what the rule proves.
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer runs, in the order the passes execute, plus
+/// the baseline-hygiene pseudo-rule `stale-allow` last.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism",
+        summary: "sans-IO protocol crates take no wall-clock or entropy",
+    },
+    RuleInfo {
+        id: "layering",
+        summary: "wire/command variants cross only their declared layer boundaries",
+    },
+    RuleInfo {
+        id: "wire-panic",
+        summary: "no panic site reachable from a decode entry point fed attacker bytes",
+    },
+    RuleInfo {
+        id: "lock-order",
+        summary: "the cross-crate Mutex acquisition-order graph is acyclic",
+    },
+    RuleInfo {
+        id: "hotpath-alloc",
+        summary: "no heap allocation reachable from the declared flood-path roots",
+    },
+    RuleInfo {
+        id: "reactor-blocking",
+        summary: "no blocking call or lock-across-syscall on a shard thread",
+    },
+    RuleInfo {
+        id: "unsafe-ffi",
+        summary: "every unsafe block is a single audited FFI call in net/src/sys.rs",
+    },
+    RuleInfo {
+        id: "bounded-growth",
+        summary: "long-lived protocol state shrinks on a reachable stability/GC/teardown path",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        summary: "Relaxed only on pure counters; guard atomics use sound Acquire/Release pairs",
+    },
+    RuleInfo {
+        id: "wire-symmetry",
+        summary: "codec tag maps agree between encode and decode, with matching field orders",
+    },
+    RuleInfo {
+        id: "stale-allow",
+        summary: "baseline hygiene: lint-allow.toml entries that match nothing fail the gate",
+    },
+];
+
+/// One per-pass wall-clock measurement from [`analyze_raw_timed`].
+#[derive(Debug, Clone, Copy)]
+pub struct PassTiming {
+    /// Pass (or shared-infrastructure) name.
+    pub name: &'static str,
+    /// Elapsed wall-clock.
+    pub elapsed: std::time::Duration,
+}
+
+/// Runs every analysis with no baseline applied, recording per-pass
+/// wall-clock (shared infrastructure — the call graph and the field
+/// table — gets its own rows so a slow pass is attributed, not
+/// averaged away). Findings are sorted by (rule, path, line).
+pub fn analyze_raw_timed(ws: &Workspace) -> (Vec<Finding>, Vec<PassTiming>) {
+    let mut timings = Vec::new();
+    let timed =
+        |name: &'static str, timings: &mut Vec<PassTiming>, f: &mut dyn FnMut() -> Vec<Finding>| {
+            let start = std::time::Instant::now();
+            let out = f();
+            timings.push(PassTiming {
+                name,
+                elapsed: start.elapsed(),
+            });
+            out
+        };
+    let start = std::time::Instant::now();
+    let graph = callgraph::CallGraph::build(ws);
+    timings.push(PassTiming {
+        name: "callgraph",
+        elapsed: start.elapsed(),
+    });
+    let start = std::time::Instant::now();
+    let fields = fields::FieldTable::build(ws);
+    timings.push(PassTiming {
+        name: "fields",
+        elapsed: start.elapsed(),
+    });
+    let mut findings = Vec::new();
+    findings.extend(timed("determinism", &mut timings, &mut || {
+        rules::determinism(ws)
+    }));
+    findings.extend(timed("layering", &mut timings, &mut || layering::check(ws)));
+    findings.extend(timed("wire-panic", &mut timings, &mut || {
+        wirepanic::audit(ws, &graph)
+    }));
+    findings.extend(timed("lock-order", &mut timings, &mut || {
+        locks::check(ws, &graph)
+    }));
+    findings.extend(timed("hotpath-alloc", &mut timings, &mut || {
+        hotpath::check(ws, &graph)
+    }));
+    findings.extend(timed("reactor-blocking", &mut timings, &mut || {
+        blocking::check(ws, &graph)
+    }));
+    findings.extend(timed("unsafe-ffi", &mut timings, &mut || {
+        unsafeffi::check(ws)
+    }));
+    findings.extend(timed("bounded-growth", &mut timings, &mut || {
+        growth::check(ws, &graph, &fields)
+    }));
+    findings.extend(timed("atomic-ordering", &mut timings, &mut || {
+        atomics::check(ws, &fields)
+    }));
+    findings.extend(timed("wire-symmetry", &mut timings, &mut || {
+        wiresym::check(ws)
+    }));
+    sort_findings(&mut findings);
+    (findings, timings)
+}
+
 /// Runs every analysis with no baseline applied. Findings are sorted by
 /// (rule, path, line).
 pub fn analyze_raw(ws: &Workspace) -> Vec<Finding> {
-    let graph = callgraph::CallGraph::build(ws);
-    let mut findings = Vec::new();
-    findings.extend(rules::determinism(ws));
-    findings.extend(layering::check(ws));
-    findings.extend(wirepanic::audit(ws, &graph));
-    findings.extend(locks::check(ws, &graph));
-    findings.extend(hotpath::check(ws, &graph));
-    findings.extend(blocking::check(ws, &graph));
-    findings.extend(unsafeffi::check(ws));
-    sort_findings(&mut findings);
-    findings
+    analyze_raw_timed(ws).0
 }
 
 /// Runs every analysis and applies the baseline: findings matched by an

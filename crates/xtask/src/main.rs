@@ -2,13 +2,17 @@
 //! `.cargo/config.toml` for the alias).
 //!
 //! Commands:
-//! - `lint [--json|--github]` — the static-analysis gate (see
-//!   [`xtask::analysis`] for the rules: determinism, wire-panic,
-//!   lock-order, layering, hotpath-alloc, reactor-blocking,
-//!   unsafe-ffi). Applies the `lint-allow.toml` baseline and exits
-//!   nonzero on any finding, so CI can use it directly. `--json` also
-//!   emits the unsafe-FFI inventory (schema:
-//!   `docs/lint-json-schema.md`).
+//! - `lint [--json|--github] [--timings]` — the static-analysis gate
+//!   (see [`xtask::analysis`] for the rules, and
+//!   [`xtask::analysis::RULES`] for the machine-readable inventory).
+//!   Applies the `lint-allow.toml` baseline and exits nonzero on any
+//!   finding, so CI can use it directly. `--json` also emits the
+//!   unsafe-FFI inventory (schema: `docs/lint-json-schema.md`).
+//!   `--timings` prints per-pass wall-clock lines
+//!   (`timing pass=<name> ms=<n>`) to stderr so CI can hold each pass
+//!   to a budget instead of averaging a slow one away.
+//! - `lint --list-rules` — prints one `id<TAB>summary` line per rule
+//!   and exits; CI consumes this instead of a hand-maintained list.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,7 +36,7 @@ fn load_baseline(root: &Path) -> Result<AllowList, String> {
     AllowList::parse("lint-allow.toml", &text).map_err(|e| format!("lint-allow.toml:{e}"))
 }
 
-fn run_lint(format: report::Format) -> ExitCode {
+fn run_lint(format: report::Format, timings: bool) -> ExitCode {
     let root = workspace_root();
     let baseline = match load_baseline(&root) {
         Ok(b) => b,
@@ -48,15 +52,23 @@ fn run_lint(format: report::Format) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let findings = analysis::analyze(&ws, &baseline);
+    let (raw, pass_timings) = analysis::analyze_raw_timed(&ws);
+    let mut findings = baseline.apply(raw);
+    analysis::sort_findings(&mut findings);
+    if timings {
+        // Stderr, so `--json`/`--github` stdout stays machine-clean.
+        for t in &pass_timings {
+            eprintln!("timing pass={} ms={}", t.name, t.elapsed.as_millis());
+        }
+    }
     let inventory = analysis::unsafeffi::inventory(&ws);
     print!("{}", report::render_full(&findings, &inventory, format));
     if findings.is_empty() {
         if format == report::Format::Human {
+            let rules: Vec<&str> = analysis::RULES.iter().map(|r| r.id).collect();
             println!(
-                "rules: determinism, wire-panic, lock-order, layering, \
-                 hotpath-alloc, reactor-blocking, unsafe-ffi \
-                 ({} files, {} baseline entries, {} audited unsafe blocks)",
+                "rules: {} ({} files, {} baseline entries, {} audited unsafe blocks)",
+                rules.join(", "),
                 ws.files.len(),
                 baseline.entries.len(),
                 inventory.len()
@@ -68,24 +80,38 @@ fn run_lint(format: report::Format) -> ExitCode {
     }
 }
 
+fn list_rules() -> ExitCode {
+    for rule in analysis::RULES {
+        println!("{}\t{}", rule.id, rule.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--json|--github] [--timings] | lint --list-rules";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let format = match args.get(1).map(String::as_str) {
-                None => report::Format::Human,
-                Some("--json") => report::Format::Json,
-                Some("--github") => report::Format::Github,
-                Some(other) => {
-                    eprintln!("usage: cargo xtask lint [--json|--github] (unknown flag: {other})");
-                    return ExitCode::FAILURE;
+            let mut format = report::Format::Human;
+            let mut timings = false;
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--json" => format = report::Format::Json,
+                    "--github" => format = report::Format::Github,
+                    "--timings" => timings = true,
+                    "--list-rules" => return list_rules(),
+                    other => {
+                        eprintln!("{USAGE} (unknown flag: {other})");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            };
-            run_lint(format)
+            }
+            run_lint(format, timings)
         }
         other => {
             eprintln!(
-                "usage: cargo xtask lint [--json|--github]{}",
+                "{USAGE}{}",
                 other
                     .map(|o| format!(" (unknown command: {o})"))
                     .unwrap_or_default()

@@ -287,6 +287,114 @@ fn unsafe_ffi_inventory_covers_every_sys_unsafe_block() {
 }
 
 #[test]
+fn bounded_growth_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/core/src/delivery/pcbcast/engine.rs",
+        include_str!("fixtures/growth_unbounded.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let growth: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "bounded-growth")
+        .collect();
+    assert_eq!(growth.len(), 3, "{findings:?}");
+    // Two grow-only fields…
+    assert!(growth
+        .iter()
+        .any(|f| f.snippet.contains("links") && f.detail.contains("never shrinks")));
+    assert!(growth
+        .iter()
+        .any(|f| f.snippet.contains("watermark") && f.detail.contains("never shrinks")));
+    // …and one whose only shrink lives outside the GC cone.
+    assert!(growth.iter().any(|f| f.snippet.contains("gate")
+        && f.detail.contains("`cleanup`")
+        && f.detail.contains("not reachable from any declared GC root")));
+}
+
+#[test]
+fn atomic_ordering_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/net/src/conn.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let atomics: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "atomic-ordering")
+        .collect();
+    // mode: Relaxed/Relaxed CAS + Relaxed load + Relaxed store; dirty:
+    // Relaxed swap. The `frames` counter must stay clean.
+    assert_eq!(atomics.len(), 4, "{findings:?}");
+    assert!(atomics
+        .iter()
+        .any(|f| f.detail.contains("compare_exchange") && f.detail.contains("failure")));
+    assert!(atomics.iter().any(|f| f.detail.contains("must be Acquire")));
+    assert!(atomics.iter().any(|f| f.detail.contains("must be Release")));
+    assert!(atomics
+        .iter()
+        .any(|f| f.detail.contains("dirty.swap") && f.detail.contains("AcqRel")));
+    assert!(
+        !findings.iter().any(|f| f.detail.contains("frames")),
+        "counter fields must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn wire_symmetry_fixture_fails_the_gate() {
+    let ws = fixture_ws(&[(
+        "crates/core/src/wire.rs",
+        include_str!("fixtures/wire_asymmetry.rs"),
+    )]);
+    let findings = analysis::analyze_raw(&ws);
+    let sym: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "wire-symmetry")
+        .collect();
+    assert_eq!(sym.len(), 4, "{findings:?}");
+    assert!(sym
+        .iter()
+        .any(|f| f.detail.contains("TAG_FX_C") && f.detail.contains("reuses wire value 1")));
+    assert!(sym
+        .iter()
+        .any(|f| f.detail.contains("TAG_FX_B") && f.detail.contains("never decoded")));
+    assert!(sym
+        .iter()
+        .any(|f| f.detail.contains("TAG_FX_C") && f.detail.contains("never encoded")));
+    assert!(sym.iter().any(|f| f.detail.contains("token, cum")
+        && f.detail.contains("cum, token")
+        && f.detail.contains("same wire order")));
+}
+
+#[test]
+fn rule_inventory_matches_the_rules_that_can_fire() {
+    // Every rule id a pass can emit must be listed in RULES (CI consumes
+    // `--list-rules`, so an unlisted rule would dodge the budget and
+    // reviewers), and ids must be unique.
+    let ids: Vec<&str> = analysis::RULES.iter().map(|r| r.id).collect();
+    let mut deduped = ids.clone();
+    deduped.sort_unstable();
+    deduped.dedup();
+    assert_eq!(deduped.len(), ids.len(), "duplicate rule ids: {ids:?}");
+    for expected in [
+        "determinism",
+        "layering",
+        "wire-panic",
+        "lock-order",
+        "hotpath-alloc",
+        "reactor-blocking",
+        "unsafe-ffi",
+        "bounded-growth",
+        "atomic-ordering",
+        "wire-symmetry",
+        "stale-allow",
+    ] {
+        assert!(ids.contains(&expected), "missing rule {expected}: {ids:?}");
+    }
+    assert_eq!(ids.len(), 11, "update this test when adding rules");
+    assert!(analysis::RULES.iter().all(|r| !r.summary.is_empty()));
+}
+
+#[test]
 fn findings_are_deterministically_ordered() {
     let ws = real_workspace();
     let key = |f: &xtask::analysis::Finding| (f.rule, f.path.clone(), f.line);

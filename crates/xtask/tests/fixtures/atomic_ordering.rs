@@ -1,0 +1,38 @@
+//! Bad fixture for `atomic-ordering`: a link-state struct whose mode
+//! machine and dirty flag run entirely `Relaxed`, next to a stats
+//! counter that legitimately does. Every site on the two guard fields
+//! must be flagged; the counter must not be.
+
+pub struct LinkState {
+    mode: AtomicU8,
+    dirty: AtomicBool,
+    frames: AtomicU64,
+}
+
+impl LinkState {
+    pub fn try_begin_connect(&self) -> bool {
+        self.mode
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    pub fn mode(&self) -> u8 {
+        self.mode.load(Ordering::Relaxed)
+    }
+
+    pub fn set_mode(&self, m: u8) {
+        self.mode.store(m, Ordering::Relaxed);
+    }
+
+    pub fn mark_dirty(&self) -> bool {
+        self.dirty.swap(true, Ordering::Relaxed)
+    }
+
+    pub fn record_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,34 @@
+//! Bad fixture for `wire-symmetry`: a codec family wrong four ways —
+//! `TAG_FX_C` reuses `TAG_FX_B`'s wire value, `TAG_FX_B` encodes but
+//! never decodes, `TAG_FX_C` decodes but never encodes, and
+//! `TAG_FX_A`'s encode writes (token, cum) while its decode reads
+//! (cum, token).
+
+const TAG_FX_A: u8 = 0;
+const TAG_FX_B: u8 = 1;
+const TAG_FX_C: u8 = 1;
+
+impl WireEncode for Fx {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Fx::Alpha { token, cum } => {
+                out.push(TAG_FX_A);
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&cum.to_le_bytes());
+            }
+            Fx::Beta => out.push(TAG_FX_B),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match get_u8(input)? {
+            TAG_FX_A => {
+                let cum = get_u64_le(input)?;
+                let token = get_u64_le(input)?;
+                Ok(Fx::Alpha { token, cum })
+            }
+            TAG_FX_C => Ok(Fx::Gamma),
+            got => Err(DecodeError::InvalidTag { got }),
+        }
+    }
+}
